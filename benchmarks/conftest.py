@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables / figures (or one of the
+extension experiments in DESIGN.md), times it with pytest-benchmark, prints the
+formatted rows and archives them under ``benchmarks/results/`` so
+EXPERIMENTS.md can record paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.baselines  # noqa: F401  (registers the baseline solvers)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> Path:
+    """Print an experiment's formatted output and archive it under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Fixture wrapper around :func:`record_result`."""
+    return record_result

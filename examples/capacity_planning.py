@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Capacity planning: how much server bandwidth does a target interactivity need?
+
+The paper treats the total server capacity as a fixed parameter of each DVE
+configuration (the "...-500cp" part of the notation).  An operator's question
+is the inverse: given an expected player population and a target fraction of
+players with QoS, how much aggregate bandwidth must be rented, and where is the
+point of diminishing returns?
+
+This example sweeps the total capacity for the default 20-server / 80-zone /
+1000-client world, runs GreZ-GreC and the delay-oblivious load balancer at
+every point, and reports pQoS, utilisation and the number of overloaded
+servers — the data a capacity plan is written from.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.baselines  # noqa: F401
+from repro import CAPInstance, build_scenario
+from repro.core.registry import solve as solve_named
+from repro.experiments.config import config_from_label
+from repro.io.tables import format_table
+from repro.metrics import resource_report
+
+CAPACITIES_MBPS = (250.0, 350.0, 500.0, 750.0, 1000.0)
+TARGET_PQOS = 0.9
+ALGORITHMS = ("grez-grec", "grez-virc", "load-balance")
+NUM_SEEDS = 3
+
+
+def evaluate(capacity_mbps: float, algorithm: str) -> dict:
+    """Average pQoS / utilisation / overload count over a few seeds."""
+    pqos, util, overloaded = [], [], []
+    for seed in range(NUM_SEEDS):
+        config = config_from_label(
+            f"20s-80z-1000c-{int(capacity_mbps)}cp", correlation=0.5
+        )
+        scenario = build_scenario(config, seed=seed)
+        instance = CAPInstance.from_scenario(scenario)
+        assignment = solve_named(instance, algorithm, seed=seed)
+        report = resource_report(instance, assignment)
+        pqos.append(assignment.pqos(instance))
+        util.append(report.utilization)
+        overloaded.append(report.overloaded_servers)
+    return {
+        "pqos": float(np.mean(pqos)),
+        "utilization": float(np.mean(util)),
+        "overloaded": float(np.mean(overloaded)),
+    }
+
+
+def main() -> None:
+    print(
+        "Capacity sweep for a 20-server / 80-zone / 1000-client world "
+        f"(target: {TARGET_PQOS:.0%} of players with QoS)\n"
+    )
+
+    rows = []
+    summary: dict[str, float | None] = {a: None for a in ALGORITHMS}
+    for capacity in CAPACITIES_MBPS:
+        row: list = [f"{capacity:g}"]
+        for algorithm in ALGORITHMS:
+            stats = evaluate(capacity, algorithm)
+            row.append(stats["pqos"])
+            row.append(stats["utilization"])
+            row.append(stats["overloaded"])
+            if summary[algorithm] is None and stats["pqos"] >= TARGET_PQOS:
+                summary[algorithm] = capacity
+        rows.append(row)
+
+    headers = ["capacity (Mbps)"]
+    for algorithm in ALGORITHMS:
+        headers += [f"{algorithm} pQoS", "util", "overloaded"]
+    print(format_table(headers, rows, title="Interactivity and load vs rented capacity"))
+    print()
+
+    recommendation_rows = [
+        [algorithm, "not reached" if capacity is None else f"{capacity:g} Mbps"]
+        for algorithm, capacity in summary.items()
+    ]
+    print(
+        format_table(
+            ["algorithm", f"capacity needed for pQoS ≥ {TARGET_PQOS:.0%}"],
+            recommendation_rows,
+            title="Capacity recommendation",
+        )
+    )
+    print()
+    print(
+        "Reading the tables: with delay-aware assignment the interactivity target is\n"
+        "reached with far less rented bandwidth than the delay-oblivious partitioner\n"
+        "needs, and pushing capacity beyond that point buys little — the budget is\n"
+        "better spent on more (or better-placed) server sites."
+    )
+
+
+if __name__ == "__main__":
+    main()

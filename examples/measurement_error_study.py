@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Measurement-error study: how robust are the assignments to bad delay data?
+
+In production nobody has a perfect client×server RTT matrix; operators rely on
+estimation services such as King (error factor ≈ 1.2) or IDMaps (≈ 2).  The
+paper's Table 4 shows GreZ-GreC losing only a few points at e = 1.2 and
+GreZ-VirC becoming the safer choice at e = 2.  This example sweeps a finer
+range of error factors, runs every algorithm on the *estimated* delays and
+evaluates on the *true* delays, and prints the resulting robustness profile —
+exactly the study an operator would run before choosing an estimation service.
+
+Run with:  python examples/measurement_error_study.py
+"""
+
+from __future__ import annotations
+
+import repro.baselines  # noqa: F401
+from repro.experiments.config import paper_default_config
+from repro.experiments.runner import run_replications
+from repro.io.tables import format_table
+from repro.measurement import DelayEstimator, ErrorModel
+
+ERROR_FACTORS = (1.0, 1.2, 1.5, 2.0, 3.0)
+ALGORITHMS = ("ranz-virc", "ranz-grec", "grez-virc", "grez-grec", "nearest-server")
+NUM_RUNS = 3
+
+
+def main() -> None:
+    config = paper_default_config()
+    print(
+        f"Sweeping delay-estimation error on {config.label} "
+        f"({NUM_RUNS} runs per point; algorithms decide on noisy delays, "
+        "evaluation uses true delays)\n"
+    )
+
+    results = {}
+    for factor in ERROR_FACTORS:
+        estimator = DelayEstimator(ErrorModel(factor, name=f"e={factor:g}"))
+        results[factor] = run_replications(
+            config,
+            list(ALGORITHMS),
+            num_runs=NUM_RUNS,
+            seed=0,
+            estimator=estimator,
+            share_topology=True,
+        )
+
+    # pQoS panel.
+    pqos_rows = []
+    for factor in ERROR_FACTORS:
+        pqos_rows.append([f"{factor:g}"] + [results[factor].pqos(a) for a in ALGORITHMS])
+    print(
+        format_table(
+            ["error factor e"] + list(ALGORITHMS),
+            pqos_rows,
+            title="pQoS vs estimation error (Table 4 generalised)",
+        )
+    )
+    print()
+
+    # Utilisation panel.
+    util_rows = []
+    for factor in ERROR_FACTORS:
+        util_rows.append(
+            [f"{factor:g}"] + [results[factor].utilization(a) for a in ALGORITHMS]
+        )
+    print(
+        format_table(
+            ["error factor e"] + list(ALGORITHMS),
+            util_rows,
+            title="Resource utilisation vs estimation error",
+        )
+    )
+    print()
+
+    # Operator guidance: how much pQoS does each algorithm give up vs perfect data?
+    degradation_rows = []
+    for algorithm in ALGORITHMS:
+        perfect = results[1.0].pqos(algorithm)
+        degradation_rows.append(
+            [algorithm, perfect]
+            + [perfect - results[factor].pqos(algorithm) for factor in ERROR_FACTORS[1:]]
+        )
+    print(
+        format_table(
+            ["algorithm", "pQoS (perfect)"] + [f"loss at e={f:g}" for f in ERROR_FACTORS[1:]],
+            degradation_rows,
+            title="Interactivity lost to estimation error",
+        )
+    )
+    print()
+    print(
+        "Reading the tables: with King-grade estimates (e = 1.2) GreZ-GreC remains the\n"
+        "best choice; once the error reaches IDMaps levels (e = 2) GreZ-VirC matches or\n"
+        "beats it while consuming the least bandwidth — the paper's Table 4 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Rebalancing policies: how often should the operator re-run the assignment?
+
+Re-executing GreZ-GreC restores interactivity after churn (Table 3), but every
+re-execution migrates zones between servers — an operationally disruptive,
+bandwidth-hungry event.  This example uses :class:`repro.dynamics.RebalanceController`
+to compare trigger policies over a sustained churn workload, and finishes with a
+local-search refinement pass (:func:`repro.core.refine_assignment`) to show how
+much headroom is left beyond the one-pass greedy heuristic.
+
+Run with:  python examples/rebalancing_policies.py
+"""
+
+from __future__ import annotations
+
+from repro import CAPInstance, DVEConfig, build_scenario, solve_cap
+from repro.core import refine_assignment
+from repro.dynamics import ChurnSpec, RebalanceController, RebalancePolicy
+from repro.io.ascii_plot import sparkline
+from repro.io.tables import format_table
+
+EPOCHS = 6
+CHURN = ChurnSpec(num_joins=120, num_leaves=120, num_moves=120)
+
+POLICIES = {
+    "never rebalance": RebalancePolicy(target_pqos=0.01),
+    "repair at 0.90, escalate if needed": RebalancePolicy(target_pqos=0.90, repair_slack=0.10),
+    "rebalance below 0.90": RebalancePolicy(target_pqos=0.90, repair_slack=0.0),
+    "periodic (every 2 epochs)": RebalancePolicy(target_pqos=0.01, full_rebalance_every=2),
+    "always rebalance": RebalancePolicy(target_pqos=1.0, repair_slack=0.0),
+}
+
+
+def compare_policies() -> None:
+    config = DVEConfig(correlation=0.0)
+    scenario = build_scenario(config, seed=5)
+
+    rows = []
+    for name, policy in POLICIES.items():
+        trace = RebalanceController(
+            scenario=scenario,
+            algorithm="grez-grec",
+            policy=policy,
+            churn_spec=CHURN,
+            seed=17,
+        ).run(num_epochs=EPOCHS)
+        rows.append(
+            [
+                name,
+                trace.mean_pqos,
+                min(trace.pqos_series()),
+                trace.num_repairs,
+                trace.num_rebalances,
+                sparkline(trace.pqos_series(), lo=0.7, hi=1.0),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "mean pQoS", "worst epoch", "repairs", "rebalances", "pQoS trend"],
+            rows,
+            title=(
+                f"Rebalancing policies over {EPOCHS} epochs of "
+                f"{CHURN.num_joins}/{CHURN.num_leaves}/{CHURN.num_moves} churn "
+                f"({config.label}, GreZ-GreC)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading the table: doing nothing lets interactivity erode; the threshold\n"
+        "policy with a cheap incremental repair keeps pQoS near the target with only\n"
+        "a handful of full rebalances; rebalancing every epoch buys little more."
+    )
+    print()
+
+
+def local_search_headroom() -> None:
+    config = DVEConfig(num_servers=10, num_zones=30, num_clients=400, total_capacity_mbps=200)
+    scenario = build_scenario(config, seed=3)
+    instance = CAPInstance.from_scenario(scenario)
+
+    rows = []
+    for algorithm in ("ranz-virc", "grez-virc", "grez-grec"):
+        start = solve_cap(instance, algorithm, seed=0)
+        refined = refine_assignment(instance, start, max_iterations=60)
+        rows.append(
+            [
+                algorithm,
+                refined.initial_pqos,
+                refined.final_pqos,
+                refined.iterations,
+                refined.runtime_seconds * 1000,
+            ]
+        )
+    print(
+        format_table(
+            ["starting heuristic", "pQoS before", "pQoS after local search", "moves", "search (ms)"],
+            rows,
+            title=f"Local-search headroom on {config.label}",
+        )
+    )
+    print()
+    print(
+        "The greedy two-phase heuristics leave little on the table: local search\n"
+        "recovers a few extra clients when starting from the weaker heuristics but\n"
+        "barely moves GreZ-GreC, corroborating the paper's near-optimality result."
+    )
+
+
+def main() -> None:
+    compare_policies()
+    local_search_headroom()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Centralised-cluster baseline: all servers in one machine room.
+
+The paper's introduction motivates the geographically distributed server
+architecture by contrast with "putting all servers at a central geographic
+location [which] may result in high communication delays for clients which are
+far from the servers" (the EverQuest / Ultima Online deployment model).
+
+:func:`centralize_servers` turns any scenario into its centralised twin: the
+same number of servers with the same capacities, but all placed on a single
+topology node (by default the node that minimises the mean RTT to the current
+client population — the most favourable possible data-centre site).  Running
+the same assignment algorithms on both scenarios quantifies how much of the
+achievable interactivity comes from geographic distribution itself versus from
+clever assignment (experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+from repro.world.scenario import DVEScenario
+from repro.world.servers import ServerSet
+
+__all__ = ["best_central_node", "centralize_servers"]
+
+
+def best_central_node(scenario: DVEScenario, criterion: str = "mean") -> int:
+    """Topology node minimising the mean (or max) RTT to the scenario's clients."""
+    if criterion not in ("mean", "max"):
+        raise ValueError("criterion must be 'mean' or 'max'")
+    rtt = scenario.delay_model.rtt  # (nodes, nodes)
+    client_nodes = scenario.population.nodes
+    if client_nodes.size == 0:
+        return 0
+    to_clients = rtt[:, client_nodes]
+    score = to_clients.mean(axis=1) if criterion == "mean" else to_clients.max(axis=1)
+    return int(np.argmin(score))
+
+
+def centralize_servers(
+    scenario: DVEScenario,
+    node: Optional[int] = None,
+    seed: SeedLike = None,  # noqa: ARG001 - kept for signature symmetry with builders
+) -> DVEScenario:
+    """Return a scenario identical to ``scenario`` but with co-located servers.
+
+    Every server is moved to ``node`` (default: the best central node for the
+    current client population); capacities are unchanged.  The inter-server
+    mesh consequently has zero delay, and client-server delays become uniform
+    across servers — which is exactly what makes the centralised architecture
+    uninteresting for the refined phase.
+    """
+    if node is None:
+        node = best_central_node(scenario)
+    if not 0 <= node < scenario.topology.num_nodes:
+        raise ValueError(f"node {node} outside the topology")
+
+    central_nodes = np.full(scenario.num_servers, node, dtype=np.int64)
+    servers = ServerSet(nodes=central_nodes, capacities=scenario.servers.capacities.copy())
+    client_server_delays = scenario.delay_model.client_server_delays(
+        scenario.population.nodes, servers.nodes
+    )
+    server_server_delays = scenario.delay_model.server_server_delays(servers.nodes)
+
+    return DVEScenario(
+        config=scenario.config,
+        topology=scenario.topology,
+        delay_model=scenario.delay_model,
+        servers=servers,
+        world=scenario.world,
+        population=scenario.population,
+        client_server_delays=client_server_delays,
+        server_server_delays=server_server_delays,
+        client_demands=scenario.client_demands,
+    )

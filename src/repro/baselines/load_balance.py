@@ -1,0 +1,66 @@
+"""Load-balancing-only baseline (locally distributed cluster partitioning).
+
+The related work the paper positions itself against ("research on how to
+assign clients to servers in DVEs is usually formulated as a load balancing
+problem in a locally distributed server architecture", citing Lui & Chan and
+Ta & Zhou 2003) balances zone load across servers but ignores network delays
+entirely — which is fine when every server sits in the same machine room and
+fatal when servers are geographically distributed.
+
+This baseline implements that strategy on the GDSA: zones are assigned to
+servers with a longest-processing-time (LPT) greedy that only looks at
+bandwidth demands, and every client contacts the server hosting its zone.  It
+is delay-oblivious like RanZ but *perfectly load balanced*, which isolates the
+effect of delay awareness from the effect of load balancing in the
+baseline-comparison experiment (E8 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment, ZoneAssignment
+from repro.core.problem import CAPInstance
+from repro.core.virc import assign_contacts_virtual
+from repro.utils.rng import SeedLike
+from repro.utils.timing import Timer
+
+__all__ = ["assign_zones_load_balanced", "solve_load_balance"]
+
+
+def assign_zones_load_balanced(instance: CAPInstance) -> ZoneAssignment:
+    """Assign zones to servers by LPT greedy load balancing (delay-oblivious).
+
+    Zones are sorted by decreasing bandwidth demand; each is placed on the
+    server with the largest *relative* residual capacity, which keeps the
+    per-server utilisations as even as possible for heterogeneous capacities.
+    """
+    with Timer() as timer:
+        zone_demands = instance.zone_demands()
+        capacities = instance.server_capacities
+        loads = np.zeros(instance.num_servers, dtype=np.float64)
+        zone_to_server = np.full(instance.num_zones, -1, dtype=np.int64)
+        capacity_exceeded = False
+
+        for zone in np.argsort(-zone_demands, kind="stable"):
+            demand = zone_demands[zone]
+            projected = (loads + demand) / capacities
+            server = int(np.argmin(projected))
+            if loads[server] + demand > capacities[server] * (1 + 1e-9):
+                capacity_exceeded = True
+            zone_to_server[zone] = server
+            loads[server] += demand
+
+    return ZoneAssignment(
+        zone_to_server=zone_to_server,
+        algorithm="load-balance",
+        capacity_exceeded=capacity_exceeded,
+        runtime_seconds=timer.elapsed,
+    )
+
+
+def solve_load_balance(instance: CAPInstance, seed: SeedLike = None) -> Assignment:  # noqa: ARG001
+    """Full CAP baseline: load-balanced zones, contact = target."""
+    zones = assign_zones_load_balanced(instance)
+    assignment = assign_contacts_virtual(instance, zones)
+    return assignment.with_algorithm("load-balance")

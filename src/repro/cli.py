@@ -1,0 +1,150 @@
+"""Command-line interface: run experiments, solve single scenarios, inspect configs.
+
+Installed as the ``repro-dve`` console script (see ``pyproject.toml``) and
+runnable as ``python -m repro``.  Three sub-commands:
+
+* ``repro-dve list`` — list the available experiments and solvers.
+* ``repro-dve solve`` — build one scenario and solve it with one or more
+  algorithms, printing pQoS / utilisation / runtime per algorithm.
+* ``repro-dve experiment <id>`` — run a paper table / figure (or extension)
+  and print the formatted result, optionally dumping it to JSON/CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import repro.baselines  # noqa: F401  (registers the baseline solvers)
+from repro import __version__
+from repro.core import CAPInstance
+from repro.core.registry import solve as registry_solve, solver_names
+from repro.experiments.config import config_from_label, PAPER_DEFAULT_LABEL
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+from repro.io.tables import format_kv, format_table
+from repro.metrics import qos_report, resource_report
+from repro.world import build_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dve",
+        description=(
+            "Reproduction of 'Efficient Client-to-Server Assignments for Distributed "
+            "Virtual Environments' (Ta & Zhou, IPDPS 2006)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    # list ------------------------------------------------------------------
+    sub.add_parser("list", help="list available experiments and solvers")
+
+    # solve -----------------------------------------------------------------
+    solve = sub.add_parser("solve", help="solve one DVE scenario with one or more algorithms")
+    solve.add_argument(
+        "--config",
+        default=PAPER_DEFAULT_LABEL,
+        help="DVE configuration label, e.g. 20s-80z-1000c-500cp",
+    )
+    solve.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["ranz-virc", "ranz-grec", "grez-virc", "grez-grec"],
+        help="solver names (see 'repro-dve list')",
+    )
+    solve.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    solve.add_argument(
+        "--correlation", type=float, default=0.5, help="physical-virtual correlation delta"
+    )
+    solve.add_argument(
+        "--delay-bound-ms", type=float, default=None, help="override the delay bound D (ms)"
+    )
+    solve.add_argument(
+        "--detail", action="store_true", help="also print the full QoS / resource reports"
+    )
+
+    # experiment ------------------------------------------------------------
+    exp = sub.add_parser("experiment", help="run one of the paper's tables / figures")
+    exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp.add_argument("--runs", type=int, default=3, help="simulation runs to average over")
+    exp.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [spec.experiment_id, spec.paper_artifact, spec.description]
+        for spec in (EXPERIMENTS[i] for i in experiment_ids())
+    ]
+    print(format_table(["experiment", "paper artefact", "description"], rows, title="Experiments"))
+    print()
+    print(format_table(["solver"], [[name] for name in solver_names()], title="Solvers"))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    config = config_from_label(args.config, correlation=args.correlation)
+    scenario = build_scenario(config, seed=args.seed)
+    instance = CAPInstance.from_scenario(scenario, delay_bound=args.delay_bound_ms)
+    print(format_kv(scenario.summary(), title="Scenario"))
+    print()
+
+    rows: List[list] = []
+    for name in args.algorithms:
+        assignment = registry_solve(instance, name, seed=args.seed)
+        rows.append(
+            [
+                name,
+                assignment.pqos(instance),
+                assignment.resource_utilization(instance),
+                assignment.runtime_seconds * 1000.0,
+                "yes" if assignment.capacity_exceeded else "no",
+            ]
+        )
+        if args.detail:
+            qos = qos_report(instance, assignment)
+            res = resource_report(instance, assignment)
+            print(format_kv(vars(qos) | vars(res), title=f"{name} detail"))
+            print()
+    print(
+        format_table(
+            ["algorithm", "pQoS", "utilisation", "runtime (ms)", "over capacity"],
+            rows,
+            title=f"Assignment results for {config.label}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment_id)
+    result = spec.run(num_runs=args.runs, seed=args.seed)
+    print(spec.format(result))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Cost metrics of the two assignment phases (Equations 3 and 8 of the paper).
+
+* **Initial assignment cost** ``C^I_ij = |{c in z_j : d(c, s_i) > D}|`` — the
+  number of clients of zone ``j`` that would miss the delay bound if the zone
+  were hosted by server ``i``.
+* **Refined assignment cost**
+  ``C^R_ij = max(0, d(c_j, s_i) + d(s_i, target(c_j)) - D)`` — how far past the
+  delay bound client ``j`` would land if it used server ``i`` as its contact
+  server.
+
+Both matrices are computed with vectorised NumPy: the client×server delay
+matrix is thresholded / combined in one shot and aggregated per zone with
+``np.add.at``, so even the largest configuration in the paper (30 servers ×
+160 zones × 2000 clients) is handled in a few milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import CAPInstance
+
+__all__ = [
+    "initial_cost_matrix",
+    "refined_cost_matrix",
+    "delays_to_targets",
+    "qos_indicator",
+]
+
+
+def initial_cost_matrix(instance: CAPInstance) -> np.ndarray:
+    """Initial-assignment cost matrix ``C^I`` of shape (num_servers, num_zones).
+
+    ``C^I[i, j]`` is the number of clients in zone ``j`` whose round-trip delay
+    to server ``i`` exceeds the delay bound ``D``.
+    """
+    over_bound = (instance.client_server_delays > instance.delay_bound).astype(np.float64)
+    per_zone = np.zeros((instance.num_zones, instance.num_servers), dtype=np.float64)
+    if instance.num_clients:
+        np.add.at(per_zone, instance.client_zones, over_bound)
+    return per_zone.T.copy()
+
+
+def refined_cost_matrix(instance: CAPInstance, zone_to_server: np.ndarray) -> np.ndarray:
+    """Refined-assignment cost matrix ``C^R`` of shape (num_servers, num_clients).
+
+    ``C^R[i, j]`` measures how far client ``j``'s communication delay would be
+    above the bound ``D`` if server ``i`` were chosen as its contact server,
+    given the zone→server map ``zone_to_server`` from the initial phase
+    (0 when within the bound).
+    """
+    zone_to_server = np.asarray(zone_to_server, dtype=np.int64)
+    if zone_to_server.shape != (instance.num_zones,):
+        raise ValueError(
+            f"zone_to_server must have shape ({instance.num_zones},), got {zone_to_server.shape}"
+        )
+    if zone_to_server.size and (
+        zone_to_server.min() < 0 or zone_to_server.max() >= instance.num_servers
+    ):
+        raise ValueError("zone_to_server contains invalid server indices")
+    targets = zone_to_server[instance.client_zones]  # (k,)
+    # total_delay[i, j] = d(c_j, s_i) + d(s_i, target_j)
+    total_delay = instance.client_server_delays.T + instance.server_server_delays[:, targets]
+    return np.maximum(total_delay - instance.delay_bound, 0.0)
+
+
+def delays_to_targets(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contact_of_client: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-client communication delay to its target server (ms).
+
+    With ``contact_of_client`` omitted, clients are assumed to talk to their
+    target server directly (contact = target).  Otherwise the delay is
+    ``d(c, contact) + d(contact, target)`` per Definition 2.1.
+    """
+    zone_to_server = np.asarray(zone_to_server, dtype=np.int64)
+    targets = zone_to_server[instance.client_zones]
+    clients = np.arange(instance.num_clients)
+    if contact_of_client is None:
+        return instance.client_server_delays[clients, targets]
+    contacts = np.asarray(contact_of_client, dtype=np.int64)
+    if contacts.shape != (instance.num_clients,):
+        raise ValueError("contact_of_client must have one entry per client")
+    return (
+        instance.client_server_delays[clients, contacts]
+        + instance.server_server_delays[contacts, targets]
+    )
+
+
+def qos_indicator(instance: CAPInstance, delays: np.ndarray) -> np.ndarray:
+    """Boolean per-client indicator of meeting the delay bound ``D``."""
+    delays = np.asarray(delays, dtype=np.float64)
+    if delays.shape != (instance.num_clients,):
+        raise ValueError("delays must have one entry per client")
+    return delays <= instance.delay_bound

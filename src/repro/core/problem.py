@@ -1,0 +1,184 @@
+"""Problem definition for the client assignment problem (CAP).
+
+A :class:`CAPInstance` is the numerical view of a DVE scenario that the
+assignment algorithms consume (Definitions 2.1-2.3 of the paper):
+
+* ``client_server_delays`` — round-trip delay ``d(c_j, s_i)`` between every
+  client and every server (ms),
+* ``server_server_delays`` — round-trip delay ``d(s_l, s_k)`` over the
+  well-provisioned inter-server mesh (ms, zero diagonal),
+* ``client_zones`` — the zone each client's avatar occupies,
+* ``client_demands`` — per-client bandwidth demand ``RT(c_j)`` on its target
+  server (bits/s),
+* ``server_capacities`` — per-server bandwidth capacities ``C(s_i)`` (bits/s),
+* ``delay_bound`` — the interactivity bound ``D`` (ms).
+
+Instances are decoupled from :class:`~repro.world.scenario.DVEScenario` so
+that algorithms can be run on *estimated* delays (Table 4's King / IDMaps
+error models) while their results are evaluated on the true delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.world.scenario import DVEScenario
+
+__all__ = ["CAPInstance"]
+
+
+@dataclass(frozen=True)
+class CAPInstance:
+    """An instance of the client assignment problem.
+
+    All arrays are validated and cast on construction; the instance is
+    immutable (algorithms never modify it).
+    """
+
+    client_server_delays: np.ndarray
+    server_server_delays: np.ndarray
+    client_zones: np.ndarray
+    client_demands: np.ndarray
+    server_capacities: np.ndarray
+    delay_bound: float
+    num_zones: int
+
+    def __post_init__(self) -> None:
+        d_cs = np.asarray(self.client_server_delays, dtype=np.float64)
+        d_ss = np.asarray(self.server_server_delays, dtype=np.float64)
+        zones = np.asarray(self.client_zones, dtype=np.int64)
+        demands = np.asarray(self.client_demands, dtype=np.float64)
+        capacities = np.asarray(self.server_capacities, dtype=np.float64)
+        object.__setattr__(self, "client_server_delays", d_cs)
+        object.__setattr__(self, "server_server_delays", d_ss)
+        object.__setattr__(self, "client_zones", zones)
+        object.__setattr__(self, "client_demands", demands)
+        object.__setattr__(self, "server_capacities", capacities)
+
+        if d_cs.ndim != 2:
+            raise ValueError(f"client_server_delays must be 2-D, got shape {d_cs.shape}")
+        k, m = d_cs.shape
+        if d_ss.shape != (m, m):
+            raise ValueError(
+                f"server_server_delays must be ({m}, {m}), got {d_ss.shape}"
+            )
+        if zones.shape != (k,):
+            raise ValueError(f"client_zones must have shape ({k},), got {zones.shape}")
+        if demands.shape != (k,):
+            raise ValueError(f"client_demands must have shape ({k},), got {demands.shape}")
+        if capacities.shape != (m,):
+            raise ValueError(f"server_capacities must have shape ({m},), got {capacities.shape}")
+        check_positive(self.delay_bound, "delay_bound")
+        if self.num_zones < 1:
+            raise ValueError("num_zones must be >= 1")
+        if zones.size and (zones.min() < 0 or zones.max() >= self.num_zones):
+            raise ValueError("client_zones contains zone ids outside [0, num_zones)")
+        if (d_cs < 0).any() or (d_ss < 0).any():
+            raise ValueError("delays must be non-negative")
+        if demands.size and (demands <= 0).any():
+            raise ValueError("client demands must be strictly positive (RT(c) > 0)")
+        if (capacities <= 0).any():
+            raise ValueError("server capacities must be strictly positive")
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def num_clients(self) -> int:
+        """Number of clients ``k``."""
+        return int(self.client_server_delays.shape[0])
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers ``m``."""
+        return int(self.client_server_delays.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def zone_demands(self) -> np.ndarray:
+        """Per-zone bandwidth demand ``R(z_j) = sum_{c in z_j} RT(c)`` (bits/s)."""
+        demands = np.zeros(self.num_zones, dtype=np.float64)
+        if self.num_clients:
+            np.add.at(demands, self.client_zones, self.client_demands)
+        return demands
+
+    def zone_populations(self) -> np.ndarray:
+        """Number of clients in each zone."""
+        if self.num_clients == 0:
+            return np.zeros(self.num_zones, dtype=np.int64)
+        return np.bincount(self.client_zones, minlength=self.num_zones).astype(np.int64)
+
+    def clients_of_zone(self, zone: int) -> np.ndarray:
+        """Indices of clients whose avatar is in ``zone``."""
+        if not 0 <= zone < self.num_zones:
+            raise ValueError(f"zone {zone} outside [0, {self.num_zones - 1}]")
+        return np.flatnonzero(self.client_zones == zone)
+
+    def forwarding_demands(self) -> np.ndarray:
+        """Per-client contact-server demand ``RC(c) = 2 * RT(c)`` (bits/s)."""
+        return 2.0 * self.client_demands
+
+    def total_demand(self) -> float:
+        """Total target-server demand (bits/s)."""
+        return float(self.client_demands.sum())
+
+    def total_capacity(self) -> float:
+        """Total server capacity (bits/s)."""
+        return float(self.server_capacities.sum())
+
+    # ------------------------------------------------------------------ #
+    # Construction / transformation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "DVEScenario",
+        delay_bound: Optional[float] = None,
+    ) -> "CAPInstance":
+        """Build an instance from a :class:`~repro.world.scenario.DVEScenario`."""
+        return cls(
+            client_server_delays=scenario.client_server_delays,
+            server_server_delays=scenario.server_server_delays,
+            client_zones=scenario.population.zones,
+            client_demands=scenario.client_demands,
+            server_capacities=scenario.servers.capacities,
+            delay_bound=float(
+                scenario.delay_bound_ms if delay_bound is None else delay_bound
+            ),
+            num_zones=scenario.num_zones,
+        )
+
+    def with_delays(
+        self,
+        client_server_delays: Optional[np.ndarray] = None,
+        server_server_delays: Optional[np.ndarray] = None,
+    ) -> "CAPInstance":
+        """Return a copy of this instance with substituted delay matrices.
+
+        Used by the measurement-error experiments: the algorithms see the
+        *estimated* delays, evaluation uses the original instance.
+        """
+        return replace(
+            self,
+            client_server_delays=(
+                self.client_server_delays
+                if client_server_delays is None
+                else np.asarray(client_server_delays, dtype=np.float64)
+            ),
+            server_server_delays=(
+                self.server_server_delays
+                if server_server_delays is None
+                else np.asarray(server_server_delays, dtype=np.float64)
+            ),
+        )
+
+    def with_delay_bound(self, delay_bound: float) -> "CAPInstance":
+        """Return a copy of this instance with a different delay bound ``D``."""
+        return replace(self, delay_bound=float(delay_bound))

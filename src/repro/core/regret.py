@@ -1,0 +1,166 @@
+"""Max-regret greedy assignment machinery shared by GreZ and GreC.
+
+Both greedy heuristics in the paper follow the same template, borrowed from
+the classic greedy algorithms for the Generalized Assignment Problem (Romeijn
+& Romero Morales):
+
+1. For every item (zone in the IAP, client in the RAP) compute a desirability
+   ``mu[i, j] = -cost[i, j]`` for placing item ``j`` on server ``i``.
+2. Compute each item's *regret* ``rho_j`` — the gap between its best and
+   second-best desirability — and order items by decreasing regret, so the
+   items that lose the most by not getting their preferred server are placed
+   first.
+3. Walk the items in that order; give each one its most desirable server that
+   still has enough residual capacity.
+
+The paper's pseudocode (Figures 2 and 3) computes the regrets once up front;
+:func:`max_regret_assign` follows that faithfully, and also offers a
+``recompute`` mode that re-evaluates regrets after every placement (a common
+strengthening of the heuristic) used by the ablation experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RegretResult", "max_regret_assign", "regret_order"]
+
+
+@dataclass(frozen=True)
+class RegretResult:
+    """Outcome of a max-regret greedy pass.
+
+    Attributes
+    ----------
+    item_to_server:
+        ``(num_items,)`` chosen server per item; ``-1`` when an item could not
+        be placed within capacity and no fallback was requested.
+    loads:
+        Final per-server loads (initial loads plus placed demands).
+    capacity_exceeded:
+        True when the fallback had to place at least one item on a server
+        whose residual capacity was insufficient.
+    """
+
+    item_to_server: np.ndarray
+    loads: np.ndarray
+    capacity_exceeded: bool
+
+
+def regret_order(desirability: np.ndarray) -> np.ndarray:
+    """Order item indices by decreasing regret (best minus second-best desirability).
+
+    With a single server the regret of every item is defined as 0, so the
+    order degenerates to the input order.
+    """
+    desirability = np.asarray(desirability, dtype=np.float64)
+    if desirability.ndim != 2:
+        raise ValueError("desirability must be a (num_servers, num_items) matrix")
+    num_servers, num_items = desirability.shape
+    if num_items == 0:
+        return np.zeros(0, dtype=np.int64)
+    if num_servers == 1:
+        return np.arange(num_items, dtype=np.int64)
+    # partition the two largest desirabilities per column
+    top_two = np.partition(desirability, num_servers - 2, axis=0)[-2:, :]
+    regrets = top_two[1] - top_two[0]
+    # Stable sort keeps input order among ties, making the heuristic deterministic.
+    return np.argsort(-regrets, kind="stable").astype(np.int64)
+
+
+def max_regret_assign(
+    desirability: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    initial_loads: Optional[np.ndarray] = None,
+    fallback: str = "least_loaded",
+    recompute: bool = False,
+) -> RegretResult:
+    """Assign items to servers with the max-regret greedy heuristic.
+
+    Parameters
+    ----------
+    desirability:
+        ``(num_servers, num_items)`` desirability ``mu[i, j]`` (higher better).
+    demands:
+        ``(num_items,)`` resource demand added to the chosen server's load.
+    capacities:
+        ``(num_servers,)`` server capacities.
+    initial_loads:
+        Optional existing per-server loads (e.g. target-server traffic already
+        committed by the initial phase).
+    fallback:
+        What to do when no server has room for an item:
+        ``"least_loaded"`` (default) places it on the server with the largest
+        residual capacity and flags ``capacity_exceeded``; ``"skip"`` leaves it
+        unassigned (``-1``).
+    recompute:
+        When True the regret order is recomputed among the remaining items
+        after every placement (dynamic variant used by the ablation study);
+        when False (the paper's pseudocode) regrets are computed once.
+
+    Returns
+    -------
+    RegretResult
+    """
+    desirability = np.asarray(desirability, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    if desirability.ndim != 2:
+        raise ValueError("desirability must be (num_servers, num_items)")
+    num_servers, num_items = desirability.shape
+    if demands.shape != (num_items,):
+        raise ValueError("demands must have one entry per item")
+    if capacities.shape != (num_servers,):
+        raise ValueError("capacities must have one entry per server")
+    if (demands < 0).any():
+        raise ValueError("demands must be non-negative")
+    if fallback not in ("least_loaded", "skip"):
+        raise ValueError("fallback must be 'least_loaded' or 'skip'")
+
+    loads = np.zeros(num_servers) if initial_loads is None else np.asarray(
+        initial_loads, dtype=np.float64
+    ).copy()
+    if loads.shape != (num_servers,):
+        raise ValueError("initial_loads must have one entry per server")
+
+    item_to_server = np.full(num_items, -1, dtype=np.int64)
+    capacity_exceeded = False
+
+    # Pre-sorted server preference per item (descending desirability).
+    preference = np.argsort(-desirability, axis=0, kind="stable")
+
+    def place(item: int) -> None:
+        nonlocal capacity_exceeded
+        for server in preference[:, item]:
+            if loads[server] + demands[item] <= capacities[server] + 1e-9:
+                item_to_server[item] = server
+                loads[server] += demands[item]
+                return
+        if fallback == "least_loaded":
+            residual = capacities - loads
+            server = int(np.argmax(residual))
+            item_to_server[item] = server
+            loads[server] += demands[item]
+            capacity_exceeded = True
+        # fallback == "skip": leave as -1
+
+    if not recompute:
+        for item in regret_order(desirability):
+            place(int(item))
+    else:
+        remaining = list(range(num_items))
+        while remaining:
+            sub = desirability[:, remaining]
+            order = regret_order(sub)
+            item = remaining.pop(int(order[0]))
+            place(item)
+
+    return RegretResult(
+        item_to_server=item_to_server,
+        loads=loads,
+        capacity_exceeded=capacity_exceeded,
+    )

@@ -1,0 +1,48 @@
+"""VirC — virtual-location-based assignment of contact servers.
+
+From Section 3.2 of the paper: VirC "adopts the most natural way to assign
+clients to servers in DVEs": every client connects directly to the server that
+hosts its zone, i.e. the contact server equals the target server.  No
+inter-server forwarding bandwidth is consumed, but the refined phase does not
+improve the number of clients with QoS beyond what the initial phase achieved.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, ZoneAssignment
+from repro.core.problem import CAPInstance
+from repro.utils.timing import Timer
+
+__all__ = ["assign_contacts_virtual"]
+
+
+def assign_contacts_virtual(
+    instance: CAPInstance, zone_assignment: ZoneAssignment
+) -> Assignment:
+    """Give every client its target server as contact server (VirC).
+
+    Parameters
+    ----------
+    instance:
+        The CAP instance.
+    zone_assignment:
+        The zone → server map produced by an IAP algorithm.
+
+    Returns
+    -------
+    Assignment
+        Complete CAP solution with zero forwarding overhead.
+    """
+    if zone_assignment.num_zones != instance.num_zones:
+        raise ValueError(
+            "zone_assignment covers a different number of zones than the instance"
+        )
+    with Timer() as timer:
+        contacts = zone_assignment.targets_of_clients(instance)
+    return Assignment(
+        zone_to_server=zone_assignment.zone_to_server,
+        contact_of_client=contacts,
+        algorithm=f"{zone_assignment.algorithm}-virc",
+        capacity_exceeded=zone_assignment.capacity_exceeded,
+        runtime_seconds=zone_assignment.runtime_seconds + timer.elapsed,
+    )

@@ -1,0 +1,34 @@
+"""DVE dynamics substrate: churn generation and reassignment policies.
+
+Reproduces the paper's Table 3 experiment (join / leave / move churn with
+re-execution of the assignment algorithms) and extends it with an
+incremental-repair policy and a multi-epoch churn simulator.
+"""
+
+from repro.dynamics.churn import ChurnSpec, generate_churn
+from repro.dynamics.controller import (
+    RebalanceController,
+    RebalancePolicy,
+    RebalanceStep,
+    RebalanceTrace,
+)
+from repro.dynamics.engine import ChurnSimulator, EpochRecord
+from repro.dynamics.events import ChurnBatch, ChurnResult, apply_churn
+from repro.dynamics.policies import carry_over_assignment, incremental_reassign, reassign
+
+__all__ = [
+    "ChurnSpec",
+    "generate_churn",
+    "ChurnBatch",
+    "ChurnResult",
+    "apply_churn",
+    "carry_over_assignment",
+    "incremental_reassign",
+    "reassign",
+    "ChurnSimulator",
+    "EpochRecord",
+    "RebalanceController",
+    "RebalancePolicy",
+    "RebalanceStep",
+    "RebalanceTrace",
+]

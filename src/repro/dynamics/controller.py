@@ -1,0 +1,197 @@
+"""Reassignment controller: *when* to re-run the assignment under churn.
+
+Section 3.4 of the paper notes that "an obtained client assignment may not be
+good after some time.  Thus, the proposed two-phase algorithm needs to be
+executed again to ensure good client assignments" — but leaves the trigger
+policy to the operator.  This module provides that missing operational layer:
+a :class:`RebalanceController` that watches the live pQoS after every churn
+epoch and decides between
+
+* doing nothing (keep the stale assignment),
+* an **incremental repair** (re-run only the refined phase), or
+* a **full re-execution** of the two-phase algorithm,
+
+according to a configurable :class:`RebalancePolicy`.  The controller tracks
+how many of each action it took and the pQoS trajectory, so policies can be
+compared on both interactivity and re-assignment cost (full re-executions are
+the expensive, disruptive events an operator wants to minimise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.assignment import Assignment
+from repro.core.problem import CAPInstance
+from repro.core.registry import solve as registry_solve
+from repro.dynamics.churn import ChurnSpec, generate_churn
+from repro.dynamics.events import apply_churn
+from repro.dynamics.policies import carry_over_assignment, incremental_reassign
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.world.scenario import DVEScenario
+
+__all__ = ["RebalancePolicy", "RebalanceStep", "RebalanceTrace", "RebalanceController"]
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """Thresholds governing the controller's decision after each epoch.
+
+    Attributes
+    ----------
+    target_pqos:
+        The interactivity level the operator wants to maintain.
+    repair_slack:
+        If the stale pQoS is below ``target_pqos`` but within ``repair_slack``
+        of it, the cheap incremental repair is tried first.
+    full_rebalance_every:
+        Optional periodic full re-execution every N epochs regardless of pQoS
+        (0 disables the periodic trigger).
+    accept_repair_if_within:
+        The repair is kept only if it brings pQoS within this distance of the
+        target; otherwise the controller escalates to a full re-execution.
+    """
+
+    target_pqos: float = 0.9
+    repair_slack: float = 0.05
+    full_rebalance_every: int = 0
+    accept_repair_if_within: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_pqos <= 1.0:
+            raise ValueError("target_pqos must lie in (0, 1]")
+        if self.repair_slack < 0 or self.accept_repair_if_within < 0:
+            raise ValueError("slack values must be non-negative")
+        if self.full_rebalance_every < 0:
+            raise ValueError("full_rebalance_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class RebalanceStep:
+    """What happened in one controlled epoch."""
+
+    epoch: int
+    action: str  # "none" | "repair" | "rebalance"
+    pqos_stale: float
+    pqos_final: float
+    num_clients: int
+
+
+@dataclass(frozen=True)
+class RebalanceTrace:
+    """Full trajectory of a controlled churn run."""
+
+    steps: List[RebalanceStep]
+    policy: RebalancePolicy
+    algorithm: str
+
+    @property
+    def num_rebalances(self) -> int:
+        """Number of full re-executions the controller triggered."""
+        return sum(1 for s in self.steps if s.action == "rebalance")
+
+    @property
+    def num_repairs(self) -> int:
+        """Number of incremental repairs the controller kept."""
+        return sum(1 for s in self.steps if s.action == "repair")
+
+    @property
+    def mean_pqos(self) -> float:
+        """Mean post-decision pQoS over all epochs."""
+        if not self.steps:
+            return 1.0
+        return sum(s.pqos_final for s in self.steps) / len(self.steps)
+
+    def pqos_series(self) -> List[float]:
+        """Post-decision pQoS per epoch."""
+        return [s.pqos_final for s in self.steps]
+
+
+@dataclass
+class RebalanceController:
+    """Drives churn epochs and applies a :class:`RebalancePolicy`.
+
+    Parameters
+    ----------
+    scenario:
+        The initial DVE scenario.
+    algorithm:
+        Registered CAP solver used for initial assignment and re-executions.
+    policy:
+        The trigger policy.
+    churn_spec:
+        Amount of churn per epoch.
+    seed:
+        Master seed for churn generation and the solver's random choices.
+    """
+
+    scenario: DVEScenario
+    algorithm: str = "grez-grec"
+    policy: RebalancePolicy = field(default_factory=RebalancePolicy)
+    churn_spec: ChurnSpec = field(default_factory=ChurnSpec)
+    seed: SeedLike = None
+
+    def run(self, num_epochs: int = 5) -> RebalanceTrace:
+        """Simulate ``num_epochs`` churn epochs under the controller's policy."""
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        rng = as_generator(self.seed)
+        solve_rng, *epoch_rngs = spawn_generators(rng, num_epochs + 1)
+
+        scenario = self.scenario
+        instance = CAPInstance.from_scenario(scenario)
+        assignment: Assignment = registry_solve(instance, self.algorithm, seed=solve_rng)
+
+        steps: List[RebalanceStep] = []
+        for epoch in range(num_epochs):
+            churn_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 2)
+            batch = generate_churn(scenario, self.churn_spec, seed=churn_rng)
+            churn = apply_churn(scenario.population, batch)
+            scenario = scenario.with_population(churn.population)
+            new_instance = CAPInstance.from_scenario(scenario)
+
+            stale = carry_over_assignment(assignment, churn, new_instance)
+            pqos_stale = stale.pqos(new_instance)
+            action, final = self._decide(
+                epoch, stale, pqos_stale, new_instance, reassign_rng
+            )
+            steps.append(
+                RebalanceStep(
+                    epoch=epoch,
+                    action=action,
+                    pqos_stale=pqos_stale,
+                    pqos_final=final.pqos(new_instance),
+                    num_clients=new_instance.num_clients,
+                )
+            )
+            assignment = final
+            instance = new_instance
+        return RebalanceTrace(steps=steps, policy=self.policy, algorithm=self.algorithm)
+
+    # ------------------------------------------------------------------ #
+    def _decide(
+        self,
+        epoch: int,
+        stale: Assignment,
+        pqos_stale: float,
+        instance: CAPInstance,
+        seed: SeedLike,
+    ) -> tuple[str, Assignment]:
+        policy = self.policy
+        periodic_due = (
+            policy.full_rebalance_every > 0
+            and (epoch + 1) % policy.full_rebalance_every == 0
+        )
+        if pqos_stale >= policy.target_pqos and not periodic_due:
+            return "none", stale
+
+        if not periodic_due and pqos_stale >= policy.target_pqos - policy.repair_slack:
+            repaired = incremental_reassign(stale, instance)
+            if repaired.pqos(instance) >= policy.target_pqos - policy.accept_repair_if_within:
+                return "repair", repaired
+
+        rebalanced: Optional[Assignment] = registry_solve(
+            instance, self.algorithm, seed=seed
+        )
+        return "rebalance", rebalanced

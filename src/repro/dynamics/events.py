@@ -1,0 +1,119 @@
+"""Churn events: clients joining, leaving and moving between zones.
+
+"During the course of interactions in the virtual world, clients may move from
+one zone to another, new clients may join, existing clients may also leave the
+virtual world" (Section 3.4).  A :class:`ChurnBatch` is one bundle of such
+events relative to a population snapshot; :func:`apply_churn` produces the new
+population plus the index bookkeeping needed to carry an existing assignment
+over to the new snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.clients import ClientPopulation
+
+__all__ = ["ChurnBatch", "ChurnResult", "apply_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnBatch:
+    """A batch of join / leave / move events against one population snapshot.
+
+    Attributes
+    ----------
+    join_nodes / join_zones:
+        Physical node and zone of each joining client (parallel arrays).
+    leave_indices:
+        Indices (into the *pre-churn* population) of the clients that leave.
+    move_indices / move_zones:
+        Indices (into the *pre-churn* population) of the clients that move and
+        the zones they move to (parallel arrays).
+    """
+
+    join_nodes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    join_zones: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    leave_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    move_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    move_zones: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        for name in ("join_nodes", "join_zones", "leave_indices", "move_indices", "move_zones"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name), dtype=np.int64))
+        if self.join_nodes.shape != self.join_zones.shape:
+            raise ValueError("join_nodes and join_zones must be parallel arrays")
+        if self.move_indices.shape != self.move_zones.shape:
+            raise ValueError("move_indices and move_zones must be parallel arrays")
+        overlap = np.intersect1d(self.leave_indices, self.move_indices)
+        if overlap.size:
+            raise ValueError(
+                f"clients {overlap.tolist()} cannot both move and leave in the same batch"
+            )
+
+    @property
+    def num_joins(self) -> int:
+        """Number of joining clients."""
+        return int(self.join_nodes.size)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaving clients."""
+        return int(self.leave_indices.size)
+
+    @property
+    def num_moves(self) -> int:
+        """Number of zone moves."""
+        return int(self.move_indices.size)
+
+    def summary(self) -> str:
+        """Short human-readable description."""
+        return f"{self.num_joins} joins, {self.num_leaves} leaves, {self.num_moves} moves"
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Population after a churn batch, plus index bookkeeping.
+
+    Attributes
+    ----------
+    population:
+        The post-churn population: surviving clients first (in their original
+        relative order), then the joined clients.
+    old_to_new:
+        ``(num_old_clients,)`` map from pre-churn client index to post-churn
+        index, or ``-1`` for clients that left.
+    new_client_indices:
+        Post-churn indices of the newly joined clients.
+    """
+
+    population: ClientPopulation
+    old_to_new: np.ndarray
+    new_client_indices: np.ndarray
+
+
+def apply_churn(population: ClientPopulation, batch: ChurnBatch) -> ChurnResult:
+    """Apply a churn batch to a population snapshot.
+
+    Move events are applied first (on pre-churn indices), then leaving clients
+    are removed, then joining clients are appended at the end.
+    """
+    num_old = population.num_clients
+    for name, idx in (("leave", batch.leave_indices), ("move", batch.move_indices)):
+        if idx.size and (idx.min() < 0 or idx.max() >= num_old):
+            raise ValueError(f"{name} indices out of range for population of {num_old}")
+
+    moved = population.with_moved(batch.move_indices, batch.move_zones)
+
+    keep_mask = np.ones(num_old, dtype=bool)
+    keep_mask[batch.leave_indices] = False
+    survivors = moved.subset(np.flatnonzero(keep_mask))
+
+    old_to_new = np.full(num_old, -1, dtype=np.int64)
+    old_to_new[keep_mask] = np.arange(int(keep_mask.sum()))
+
+    final = survivors.with_joined(batch.join_nodes, batch.join_zones)
+    new_client_indices = np.arange(survivors.num_clients, final.num_clients)
+    return ChurnResult(population=final, old_to_new=old_to_new, new_client_indices=new_client_indices)

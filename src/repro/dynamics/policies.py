@@ -1,0 +1,89 @@
+"""Reassignment policies: what to do with an assignment after churn.
+
+The paper's Table 3 compares three states of the system around a churn batch:
+
+* **Before** — the assignment evaluated on the pre-churn population.
+* **After** — the *old* assignment carried over and evaluated on the
+  post-churn population (new clients simply connect to the server hosting
+  their zone, movers keep their old contact server), i.e. no reassignment.
+* **Executed** — the assignment algorithm re-executed from scratch on the
+  post-churn population.
+
+:func:`carry_over_assignment` implements the "After" state;
+:func:`reassign` implements "Executed"; :func:`incremental_reassign` is an
+additional, cheaper policy (not in the paper) that keeps the zone→server map
+and only re-runs the refined phase, exercising the claim that the initial
+phase is the expensive, high-impact one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.grec import assign_contacts_greedy
+from repro.core.problem import CAPInstance
+from repro.core.registry import solve as registry_solve
+from repro.core.assignment import ZoneAssignment
+from repro.dynamics.events import ChurnResult
+from repro.utils.rng import SeedLike
+
+__all__ = ["carry_over_assignment", "reassign", "incremental_reassign"]
+
+
+def carry_over_assignment(
+    old_assignment: Assignment,
+    churn: ChurnResult,
+    new_instance: CAPInstance,
+) -> Assignment:
+    """Evaluate-ready version of an old assignment on the post-churn population.
+
+    * The zone→server map is unchanged (zones do not churn).
+    * Surviving clients keep their previous contact server.
+    * Newly joined clients connect directly to the server hosting their zone
+      (the natural default before any reassignment runs).
+    """
+    new_num_clients = churn.population.num_clients
+    contacts = np.empty(new_num_clients, dtype=np.int64)
+
+    survivors_old = np.flatnonzero(churn.old_to_new >= 0)
+    contacts[churn.old_to_new[survivors_old]] = old_assignment.contact_of_client[survivors_old]
+
+    targets_new = old_assignment.zone_to_server[new_instance.client_zones]
+    contacts[churn.new_client_indices] = targets_new[churn.new_client_indices]
+
+    return Assignment(
+        zone_to_server=old_assignment.zone_to_server,
+        contact_of_client=contacts,
+        algorithm=f"{old_assignment.algorithm} (carried over)",
+        capacity_exceeded=old_assignment.capacity_exceeded,
+        runtime_seconds=0.0,
+    )
+
+
+def reassign(
+    new_instance: CAPInstance,
+    algorithm: str,
+    seed: SeedLike = None,
+) -> Assignment:
+    """Re-execute a registered CAP solver from scratch on the new instance."""
+    return registry_solve(new_instance, algorithm, seed=seed)
+
+
+def incremental_reassign(
+    old_assignment: Assignment,
+    new_instance: CAPInstance,
+) -> Assignment:
+    """Keep the zone→server map, re-run only the refined (contact) phase.
+
+    This is a cheap repair policy: the expensive initial assignment survives
+    the churn and only contact servers are recomputed with GreC against the
+    new population and demands.
+    """
+    zones = ZoneAssignment(
+        zone_to_server=old_assignment.zone_to_server,
+        algorithm=f"{old_assignment.algorithm}-kept",
+        capacity_exceeded=old_assignment.capacity_exceeded,
+    )
+    refined = assign_contacts_greedy(new_instance, zones)
+    return refined.with_algorithm(f"{old_assignment.algorithm} (incremental)")

@@ -1,0 +1,103 @@
+"""Experiment E7 — ablation of the greedy design choices (not in the paper).
+
+The paper's heuristics embody two specific design decisions worth isolating:
+
+1. **Regret ordering** — zones/clients are processed in max-regret order
+   (GAP-style) rather than, say, largest-demand-first or arbitrary order.
+2. **Static vs dynamic regret** — the paper's pseudocode computes the regrets
+   once; recomputing them after every placement is a well-known strengthening
+   of the heuristic at extra cost.
+
+This experiment compares, on the default configuration:
+
+* ``grez-grec``            — the paper's algorithm (static regret),
+* ``grez-grec-dynamic``    — regret recomputed after every placement,
+* ``ranz-grec``            — no delay awareness in the initial phase,
+* ``grez-virc``            — no refined phase,
+* ``load-balance``         — no delay awareness at all (pure load balancing),
+* ``nearest-server``       — delay awareness without the regret machinery,
+
+which decomposes GreZ-GreC's advantage into its ingredients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import repro.baselines  # noqa: F401 - registers the baseline solvers
+from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.io.tables import format_table
+from repro.utils.rng import SeedLike
+
+__all__ = ["AblationResult", "run_ablation", "format_ablation", "DEFAULT_ABLATION_VARIANTS"]
+
+#: Variants compared by the ablation, in report order.
+DEFAULT_ABLATION_VARIANTS = (
+    "grez-grec",
+    "grez-grec-dynamic",
+    "grez-ff-grec",
+    "grez-bf-grec",
+    "grez-grec-ff",
+    "grez-virc",
+    "grez-ff-virc",
+    "ranz-grec",
+    "ranz-virc",
+    "nearest-server",
+    "load-balance",
+)
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Aggregated metrics per ablation variant."""
+
+    label: str
+    result: ReplicatedResult
+    variants: List[str]
+
+    def rows(self) -> List[list]:
+        """One row per variant: pQoS, utilisation, mean runtime (ms)."""
+        rows = []
+        for name in self.variants:
+            summary = self.result.summaries[name]
+            rows.append(
+                [
+                    name,
+                    summary.pqos.mean,
+                    summary.utilization.mean,
+                    summary.runtime_seconds.mean * 1000.0,
+                ]
+            )
+        return rows
+
+
+def run_ablation(
+    label: str = PAPER_DEFAULT_LABEL,
+    variants: Optional[Sequence[str]] = None,
+    num_runs: int = 3,
+    seed: SeedLike = 0,
+    correlation: float = 0.5,
+    share_topology: bool = True,
+) -> AblationResult:
+    """Run the ablation comparison on one configuration."""
+    variants = list(variants or DEFAULT_ABLATION_VARIANTS)
+    config = config_from_label(label, correlation=correlation)
+    result = run_replications(
+        config,
+        variants,
+        num_runs=num_runs,
+        seed=seed,
+        share_topology=share_topology,
+    )
+    return AblationResult(label=label, result=result, variants=variants)
+
+
+def format_ablation(result: AblationResult) -> str:
+    """Render the ablation table."""
+    return format_table(
+        ["variant", "pQoS", "utilisation", "runtime (ms)"],
+        result.rows(),
+        title=f"Ablation (E7): design-choice decomposition on {result.label}",
+    )

@@ -1,0 +1,158 @@
+"""Experiment E8 — comparison against related-work baselines and the
+centralised deployment (not in the paper, motivated by its Sections 1-2).
+
+Two comparisons:
+
+1. **Solver baselines** — the paper's GreZ-GreC and GreZ-VirC against the
+   delay-oblivious load balancer (locally distributed cluster partitioning)
+   and the nearest-server selection (mirrored-architecture style), on every
+   Table 1 configuration.
+2. **Architecture baseline** — GreZ-GreC on the geographically distributed
+   server architecture versus GreZ-GreC on the *centralised* twin of the same
+   scenario (all servers moved to the best single site), quantifying how much
+   interactivity geographic distribution itself buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import repro.baselines  # noqa: F401 - registers the baseline solvers
+from repro.baselines.central import centralize_servers
+from repro.core.problem import CAPInstance
+from repro.core.registry import solve as registry_solve
+from repro.experiments.config import PAPER_TABLE1_LABELS, config_from_label
+from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.io.tables import format_table
+from repro.metrics.summary import AggregateStat, aggregate
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.world.scenario import build_scenario
+
+__all__ = [
+    "BaselineComparisonResult",
+    "CentralizationResult",
+    "run_baseline_comparison",
+    "run_centralization_comparison",
+    "format_baseline_comparison",
+]
+
+DEFAULT_SOLVERS = ("grez-grec", "grez-virc", "nearest-server", "load-balance", "ranz-virc")
+
+
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """Per-configuration comparison of the paper's algorithms vs baselines."""
+
+    labels: List[str]
+    solvers: List[str]
+    results: Dict[str, ReplicatedResult]
+
+    def rows(self) -> List[list]:
+        """One row per configuration; one pQoS column per solver."""
+        rows = []
+        for label in self.labels:
+            result = self.results[label]
+            rows.append([label] + [result.pqos(s) for s in self.solvers])
+        return rows
+
+
+@dataclass(frozen=True)
+class CentralizationResult:
+    """GDSA vs centralised deployment, same algorithm, same workload."""
+
+    label: str
+    algorithm: str
+    distributed_pqos: AggregateStat
+    centralized_pqos: AggregateStat
+
+    def rows(self) -> List[list]:
+        """Two rows: distributed and centralised."""
+        return [
+            ["distributed (GDSA)", self.distributed_pqos.mean, self.distributed_pqos.std],
+            ["centralised (one site)", self.centralized_pqos.mean, self.centralized_pqos.std],
+        ]
+
+
+def run_baseline_comparison(
+    labels: Sequence[str] = PAPER_TABLE1_LABELS,
+    solvers: Optional[Sequence[str]] = None,
+    num_runs: int = 3,
+    seed: SeedLike = 0,
+    correlation: float = 0.5,
+    share_topology: bool = True,
+) -> BaselineComparisonResult:
+    """Compare the paper's algorithms against the related-work baselines."""
+    solvers = list(solvers or DEFAULT_SOLVERS)
+    results: Dict[str, ReplicatedResult] = {}
+    for label in labels:
+        config = config_from_label(label, correlation=correlation)
+        results[label] = run_replications(
+            config,
+            solvers,
+            num_runs=num_runs,
+            seed=seed,
+            share_topology=share_topology,
+        )
+    return BaselineComparisonResult(labels=list(labels), solvers=solvers, results=results)
+
+
+def run_centralization_comparison(
+    label: str = "20s-80z-1000c-500cp",
+    algorithm: str = "grez-grec",
+    num_runs: int = 3,
+    seed: SeedLike = 0,
+    correlation: float = 0.5,
+) -> CentralizationResult:
+    """Compare the GDSA against a centralised deployment of the same servers."""
+    config = config_from_label(label, correlation=correlation)
+    rng = as_generator(seed)
+    run_rngs = spawn_generators(rng, num_runs)
+
+    distributed: List[float] = []
+    centralized: List[float] = []
+    for run_index in range(num_runs):
+        scenario_rng, solve_rng = spawn_generators(run_rngs[run_index], 2)
+        scenario = build_scenario(config, seed=scenario_rng)
+        central_scenario = centralize_servers(scenario)
+
+        instance = CAPInstance.from_scenario(scenario)
+        central_instance = CAPInstance.from_scenario(central_scenario)
+        distributed.append(registry_solve(instance, algorithm, seed=solve_rng).pqos(instance))
+        centralized.append(
+            registry_solve(central_instance, algorithm, seed=solve_rng).pqos(central_instance)
+        )
+
+    return CentralizationResult(
+        label=label,
+        algorithm=algorithm,
+        distributed_pqos=aggregate(distributed),
+        centralized_pqos=aggregate(centralized),
+    )
+
+
+def format_baseline_comparison(
+    comparison: BaselineComparisonResult,
+    centralization: Optional[CentralizationResult] = None,
+) -> str:
+    """Render the baseline-comparison tables."""
+    parts = [
+        format_table(
+            ["DVE conf."] + list(comparison.solvers),
+            comparison.rows(),
+            title="Baseline comparison (E8): pQoS per configuration",
+        )
+    ]
+    if centralization is not None:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["architecture", "pQoS (mean)", "pQoS (std)"],
+                centralization.rows(),
+                title=(
+                    f"GDSA vs centralised deployment ({centralization.algorithm}, "
+                    f"{centralization.label})"
+                ),
+            )
+        )
+    return "\n".join(parts)

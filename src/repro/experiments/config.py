@@ -1,0 +1,84 @@
+"""Experiment configurations and the paper's ``<m>s-<n>z-<k>c-<P>cp`` notation.
+
+Section 4.2 identifies DVE configurations by the number of servers, zones and
+clients plus the total capacity, e.g. ``20s-80z-1000c-500cp``.  This module
+parses and produces that notation and holds the four configurations evaluated
+in Table 1 together with the default simulation parameters of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.world.scenario import DVEConfig
+
+__all__ = [
+    "parse_config_label",
+    "config_from_label",
+    "PAPER_TABLE1_LABELS",
+    "PAPER_DEFAULT_LABEL",
+    "PAPER_SMALL_LABELS",
+    "paper_table1_configs",
+    "paper_default_config",
+]
+
+_LABEL_RE = re.compile(
+    r"^\s*(?P<servers>\d+)s-(?P<zones>\d+)z-(?P<clients>\d+)c-(?P<capacity>\d+(?:\.\d+)?)cp\s*$",
+    re.IGNORECASE,
+)
+
+#: The four DVE configurations of the paper's Table 1, in row order.
+PAPER_TABLE1_LABELS: tuple[str, ...] = (
+    "5s-15z-200c-100cp",
+    "10s-30z-400c-200cp",
+    "20s-80z-1000c-500cp",
+    "30s-160z-2000c-1000cp",
+)
+
+#: The two configurations small enough for the exact MILP baseline.
+PAPER_SMALL_LABELS: tuple[str, ...] = PAPER_TABLE1_LABELS[:2]
+
+#: The default configuration used by most other experiments.
+PAPER_DEFAULT_LABEL: str = "20s-80z-1000c-500cp"
+
+
+def parse_config_label(label: str) -> Dict[str, float]:
+    """Parse a ``<m>s-<n>z-<k>c-<P>cp`` label into its four numbers.
+
+    Returns a dict with keys ``num_servers``, ``num_zones``, ``num_clients``
+    and ``total_capacity_mbps``.
+    """
+    match = _LABEL_RE.match(label)
+    if not match:
+        raise ValueError(
+            f"cannot parse DVE configuration label {label!r}; expected e.g. '20s-80z-1000c-500cp'"
+        )
+    return {
+        "num_servers": int(match.group("servers")),
+        "num_zones": int(match.group("zones")),
+        "num_clients": int(match.group("clients")),
+        "total_capacity_mbps": float(match.group("capacity")),
+    }
+
+
+def config_from_label(label: str, **overrides) -> DVEConfig:
+    """Build a :class:`~repro.world.scenario.DVEConfig` from a label.
+
+    All other parameters take the paper's Section 4.1 defaults and can be
+    overridden by keyword (e.g. ``correlation=0.0`` or
+    ``delay_bound_ms=200.0``).
+    """
+    parsed = parse_config_label(label)
+    parsed.update(overrides)
+    return DVEConfig(**parsed)
+
+
+def paper_table1_configs(**overrides) -> Dict[str, DVEConfig]:
+    """The four Table 1 configurations, keyed by label."""
+    return {label: config_from_label(label, **overrides) for label in PAPER_TABLE1_LABELS}
+
+
+def paper_default_config(**overrides) -> DVEConfig:
+    """The paper's default configuration (20s-80z-1000c-500cp)."""
+    return config_from_label(PAPER_DEFAULT_LABEL, **overrides)

@@ -1,0 +1,230 @@
+"""Multi-run experiment execution engine.
+
+Every quantitative result in the paper "is obtained by averaging the results
+of 50 simulation runs"; :func:`run_replications` is the engine that does the
+averaging here.  One *run* means: build a fresh scenario from the
+configuration (new topology sample, new placements, new client distribution),
+optionally pass the instance through a delay-estimation error model, solve it
+with every requested algorithm, and evaluate pQoS / resource utilisation of
+each solution against the *true* instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import CAPInstance
+from repro.core.registry import ensure_registered, solve as registry_solve
+from repro.measurement.estimators import DelayEstimator
+from repro.metrics.cdf import EmpiricalCDF, delay_cdf, merge_cdfs
+from repro.metrics.summary import AggregateStat, aggregate
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
+
+__all__ = ["RunObservation", "AlgorithmSummary", "ReplicatedResult", "evaluate_algorithms", "run_replications"]
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """Metrics of one algorithm on one simulation run."""
+
+    algorithm: str
+    pqos: float
+    utilization: float
+    runtime_seconds: float
+    capacity_exceeded: bool
+    delays: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """Aggregated metrics of one algorithm over all runs of an experiment."""
+
+    algorithm: str
+    pqos: AggregateStat
+    utilization: AggregateStat
+    runtime_seconds: AggregateStat
+    capacity_exceeded_runs: int
+    delay_cdf: Optional[EmpiricalCDF] = None
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Result of :func:`run_replications`: per-algorithm summaries plus raw runs."""
+
+    config: DVEConfig
+    num_runs: int
+    summaries: Dict[str, AlgorithmSummary]
+    observations: Dict[str, List[RunObservation]] = field(default_factory=dict)
+
+    def pqos(self, algorithm: str) -> float:
+        """Mean pQoS of an algorithm."""
+        return self.summaries[algorithm].pqos.mean
+
+    def utilization(self, algorithm: str) -> float:
+        """Mean resource utilisation of an algorithm."""
+        return self.summaries[algorithm].utilization.mean
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names in the order they were requested."""
+        return list(self.summaries)
+
+
+def evaluate_algorithms(
+    scenario: DVEScenario,
+    algorithms: Sequence[str],
+    seed: SeedLike = None,
+    estimator: Optional[DelayEstimator] = None,
+    delay_bound_ms: Optional[float] = None,
+    collect_delays: bool = False,
+) -> Dict[str, RunObservation]:
+    """Solve one scenario with several algorithms and evaluate them on true delays.
+
+    Parameters
+    ----------
+    scenario:
+        The materialised scenario.
+    algorithms:
+        Registered solver names.
+    seed:
+        Seed for the randomised algorithms (one sub-stream per algorithm).
+    estimator:
+        Optional delay-estimation service; when given, algorithms *decide* on
+        the estimated instance but are *evaluated* on the true one (Table 4).
+    delay_bound_ms:
+        Override of the scenario's delay bound (Figure 5 uses D = 200 ms).
+    collect_delays:
+        Also return the per-client delay vector of each solution (Figure 4).
+    """
+    ensure_registered(algorithms)
+    rng = as_generator(seed)
+    algo_rngs = spawn_generators(rng, len(algorithms) + 1)
+    estimation_rng = algo_rngs[-1]
+
+    true_instance = CAPInstance.from_scenario(scenario, delay_bound=delay_bound_ms)
+    decision_instance = true_instance
+    if estimator is not None and not estimator.model.is_perfect:
+        decision_instance = estimator.estimate(true_instance, seed=estimation_rng)
+
+    results: Dict[str, RunObservation] = {}
+    for i, name in enumerate(algorithms):
+        with Timer() as timer:
+            assignment = registry_solve(decision_instance, name, seed=algo_rngs[i])
+        delays = assignment.client_delays(true_instance)
+        results[name] = RunObservation(
+            algorithm=name,
+            pqos=float((delays <= true_instance.delay_bound).mean()) if delays.size else 1.0,
+            utilization=assignment.resource_utilization(true_instance),
+            runtime_seconds=timer.elapsed,
+            capacity_exceeded=assignment.capacity_exceeded,
+            delays=delays.copy() if collect_delays else None,
+        )
+    return results
+
+
+def run_replications(
+    config: DVEConfig,
+    algorithms: Sequence[str],
+    num_runs: int = 5,
+    seed: SeedLike = 0,
+    estimator: Optional[DelayEstimator] = None,
+    delay_bound_ms: Optional[float] = None,
+    collect_delays: bool = False,
+    cdf_grid: Optional[np.ndarray] = None,
+    share_topology: bool = False,
+    keep_observations: bool = False,
+) -> ReplicatedResult:
+    """Run ``num_runs`` independent simulation runs and aggregate the metrics.
+
+    Parameters
+    ----------
+    config:
+        DVE configuration to simulate.
+    algorithms:
+        Registered solver names to compare.
+    num_runs:
+        Number of independent runs (the paper uses 50; tests and benchmarks
+        use fewer).
+    seed:
+        Master seed; every run gets an independent sub-stream.
+    estimator / delay_bound_ms / collect_delays:
+        Forwarded to :func:`evaluate_algorithms`.
+    cdf_grid:
+        Delay grid for the aggregated CDF (defaults to the Figure 4 range).
+    share_topology:
+        Reuse a single topology sample (and its all-pairs delay matrix) across
+        runs; placements and distributions still vary.  Cuts run time roughly
+        in half for quick exploratory sweeps.
+    keep_observations:
+        Also return the raw per-run observations.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    ensure_registered(algorithms)
+    rng = as_generator(seed)
+    run_rngs = spawn_generators(rng, num_runs)
+
+    shared_topology = None
+    shared_delay_model = None
+    if share_topology:
+        from repro.topology.brite import generate_topology
+        from repro.topology.delays import DelayModel
+
+        topo_rng = as_generator(seed if not isinstance(seed, np.random.Generator) else rng)
+        shared_topology = generate_topology(config.topology, seed=topo_rng)
+        shared_delay_model = DelayModel(
+            shared_topology,
+            max_rtt_ms=config.max_rtt_ms,
+            server_mesh_factor=config.server_mesh_factor,
+        )
+
+    per_algorithm: Dict[str, List[RunObservation]] = {name: [] for name in algorithms}
+    for run_index in range(num_runs):
+        scenario_rng, eval_rng = spawn_generators(run_rngs[run_index], 2)
+        scenario = build_scenario(
+            config,
+            seed=scenario_rng,
+            topology=shared_topology,
+            delay_model=shared_delay_model,
+        )
+        observations = evaluate_algorithms(
+            scenario,
+            algorithms,
+            seed=eval_rng,
+            estimator=estimator,
+            delay_bound_ms=delay_bound_ms,
+            collect_delays=collect_delays,
+        )
+        for name in algorithms:
+            per_algorithm[name].append(observations[name])
+
+    summaries: Dict[str, AlgorithmSummary] = {}
+    for name in algorithms:
+        obs = per_algorithm[name]
+        cdf = None
+        if collect_delays:
+            cdfs = [
+                delay_cdf(o.delays, grid=cdf_grid)
+                for o in obs
+                if o.delays is not None and o.delays.size
+            ]
+            cdf = merge_cdfs(cdfs) if cdfs else None
+        summaries[name] = AlgorithmSummary(
+            algorithm=name,
+            pqos=aggregate([o.pqos for o in obs]),
+            utilization=aggregate([o.utilization for o in obs]),
+            runtime_seconds=aggregate([o.runtime_seconds for o in obs]),
+            capacity_exceeded_runs=sum(1 for o in obs if o.capacity_exceeded),
+            delay_cdf=cdf,
+        )
+
+    return ReplicatedResult(
+        config=config,
+        num_runs=num_runs,
+        summaries=summaries,
+        observations=per_algorithm if keep_observations else {},
+    )

@@ -1,0 +1,49 @@
+"""CSV output helpers for experiment results.
+
+Every experiment driver can dump its result rows to CSV so that the series
+behind the paper's figures (delay CDFs, correlation sweeps, distribution-type
+sweeps) can be re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+__all__ = ["write_csv", "rows_to_csv_text"]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed.
+
+    Returns the resolved path for convenience.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(list(row))
+    return target
+
+
+def rows_to_csv_text(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (used by the CLI's ``--format csv``)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        lines.append(",".join(str(cell) for cell in row))
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""JSON serialisation of configurations, assignments and experiment results.
+
+Keeps experiment outputs reproducible and auditable: a result file records the
+configuration, the seed, and every per-run metric, so a published number can
+be traced back to the exact inputs that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.world.scenario import DVEConfig
+
+__all__ = [
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "config_to_dict",
+    "config_from_dict",
+]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / NumPy types into JSON-safe values."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialise object of type {type(obj)!r} to JSON")
+
+
+def dump_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise ``obj`` (via :func:`to_jsonable`) to a JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_jsonable(obj), indent=indent) + "\n")
+    return target
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON file written by :func:`dump_json`."""
+    return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------- #
+# Assignments
+# ---------------------------------------------------------------------- #
+def assignment_to_dict(assignment: Assignment) -> dict:
+    """Serialise an :class:`~repro.core.assignment.Assignment` to plain data."""
+    return {
+        "zone_to_server": assignment.zone_to_server.tolist(),
+        "contact_of_client": assignment.contact_of_client.tolist(),
+        "algorithm": assignment.algorithm,
+        "capacity_exceeded": bool(assignment.capacity_exceeded),
+        "runtime_seconds": float(assignment.runtime_seconds),
+        "metadata": to_jsonable(assignment.metadata),
+    }
+
+
+def assignment_from_dict(data: dict) -> Assignment:
+    """Inverse of :func:`assignment_to_dict`."""
+    return Assignment(
+        zone_to_server=np.asarray(data["zone_to_server"], dtype=np.int64),
+        contact_of_client=np.asarray(data["contact_of_client"], dtype=np.int64),
+        algorithm=data.get("algorithm", "unknown"),
+        capacity_exceeded=bool(data.get("capacity_exceeded", False)),
+        runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Configurations
+# ---------------------------------------------------------------------- #
+def config_to_dict(config: DVEConfig) -> dict:
+    """Serialise a :class:`~repro.world.scenario.DVEConfig` (nested dataclasses included)."""
+    return to_jsonable(config)
+
+
+def config_from_dict(data: dict) -> DVEConfig:
+    """Inverse of :func:`config_to_dict`."""
+    from repro.topology.brite import BriteConfig  # local import to avoid cycles
+
+    payload = dict(data)
+    topology = payload.pop("topology", None)
+    config = DVEConfig(**payload) if topology is None else DVEConfig(
+        **payload, topology=BriteConfig(**topology)
+    )
+    return config

@@ -1,0 +1,97 @@
+"""Network-delay estimation error models.
+
+In practice the assignment algorithms do not have perfect delay information;
+they rely on scalable estimation services such as King (recursive DNS probing)
+or IDMaps (tracer infrastructure).  The paper models their inaccuracy with a
+multiplicative error factor ``e``: "assuming the perfect value of delay is d,
+then the delay value used in the simulation is uniformly distributed in the
+range [d/e, d*e]", with ``e = 1.2`` representing King and ``e = 2``
+representing IDMaps (Table 4).
+
+:func:`apply_multiplicative_error` perturbs an arbitrary delay matrix this
+way; :class:`ErrorModel` is the declarative description embedded in experiment
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "ErrorModel",
+    "PERFECT",
+    "KING",
+    "IDMAPS",
+    "apply_multiplicative_error",
+]
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Multiplicative delay-estimation error with factor ``e >= 1``.
+
+    ``e = 1`` means perfect information.  ``name`` identifies the emulated
+    measurement service in reports.
+    """
+
+    factor: float = 1.0
+    name: str = "perfect"
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.factor) or self.factor < 1.0:
+            raise ValueError(f"error factor must be >= 1, got {self.factor}")
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when this model introduces no error."""
+        return self.factor == 1.0
+
+    def perturb(self, delays: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+        """Return a perturbed copy of ``delays`` (see module docstring)."""
+        return apply_multiplicative_error(delays, self.factor, seed=seed)
+
+
+#: Perfect delay knowledge (the assumption behind Tables 1 and 3).
+PERFECT = ErrorModel(1.0, "perfect")
+#: King-like accuracy (error factor 1.2).
+KING = ErrorModel(1.2, "king")
+#: IDMaps-like accuracy (error factor 2.0).
+IDMAPS = ErrorModel(2.0, "idmaps")
+
+
+def apply_multiplicative_error(
+    delays: np.ndarray, factor: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Perturb delays with a multiplicative error uniform in ``[d/e, d*e]``.
+
+    Parameters
+    ----------
+    delays:
+        Array of true delays (any shape); must be non-negative.
+    factor:
+        The error factor ``e >= 1``; ``1`` returns an unmodified copy.
+    seed:
+        RNG.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same shape with every entry independently drawn from
+        ``U[d/e, d*e]``.  Zero entries (e.g. a server's delay to itself) stay
+        exactly zero.
+    """
+    delays = np.asarray(delays, dtype=np.float64)
+    if (delays < 0).any():
+        raise ValueError("delays must be non-negative")
+    if not np.isfinite(factor) or factor < 1.0:
+        raise ValueError(f"error factor must be >= 1, got {factor}")
+    if factor == 1.0:
+        return delays.copy()
+    rng = as_generator(seed)
+    low = delays / factor
+    high = delays * factor
+    return rng.uniform(low, high)

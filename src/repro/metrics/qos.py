@@ -1,0 +1,91 @@
+"""Interactivity (QoS) metrics.
+
+The paper's primary performance measure is ``pQoS`` — the fraction of clients
+whose round-trip communication delay to their target server is within the DVE
+delay bound ``D``.  This module provides pQoS plus the per-client delay vector
+and a few derivative statistics (mean excess delay of the clients without QoS,
+which Figure 4's CDF visualises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import CAPInstance
+
+__all__ = ["QoSReport", "pqos", "client_delays", "qos_report"]
+
+
+def client_delays(instance: CAPInstance, assignment: Assignment) -> np.ndarray:
+    """Per-client communication delay (ms) under an assignment."""
+    return assignment.client_delays(instance)
+
+
+def pqos(instance: CAPInstance, assignment: Assignment) -> float:
+    """Fraction of clients with QoS (delay within the bound ``D``)."""
+    return assignment.pqos(instance)
+
+
+@dataclass(frozen=True)
+class QoSReport:
+    """Summary of the interactivity of one assignment.
+
+    Attributes
+    ----------
+    pqos:
+        Fraction of clients within the delay bound.
+    num_clients / num_with_qos:
+        Absolute counts.
+    mean_delay_ms / median_delay_ms / p95_delay_ms / max_delay_ms:
+        Distribution statistics of per-client delays.
+    mean_excess_ms:
+        Mean amount by which clients *without* QoS exceed the bound (0 when
+        every client has QoS).
+    forwarded_fraction:
+        Fraction of clients whose contact server differs from their target
+        server (i.e. clients exploiting the inter-server mesh).
+    """
+
+    pqos: float
+    num_clients: int
+    num_with_qos: int
+    mean_delay_ms: float
+    median_delay_ms: float
+    p95_delay_ms: float
+    max_delay_ms: float
+    mean_excess_ms: float
+    forwarded_fraction: float
+
+
+def qos_report(instance: CAPInstance, assignment: Assignment) -> QoSReport:
+    """Compute a :class:`QoSReport` for an assignment."""
+    delays = assignment.client_delays(instance)
+    if delays.size == 0:
+        return QoSReport(
+            pqos=1.0,
+            num_clients=0,
+            num_with_qos=0,
+            mean_delay_ms=0.0,
+            median_delay_ms=0.0,
+            p95_delay_ms=0.0,
+            max_delay_ms=0.0,
+            mean_excess_ms=0.0,
+            forwarded_fraction=0.0,
+        )
+    with_qos = delays <= instance.delay_bound
+    without = delays[~with_qos]
+    forwarded = assignment.forwarded_mask(instance)
+    return QoSReport(
+        pqos=float(with_qos.mean()),
+        num_clients=int(delays.size),
+        num_with_qos=int(with_qos.sum()),
+        mean_delay_ms=float(delays.mean()),
+        median_delay_ms=float(np.median(delays)),
+        p95_delay_ms=float(np.percentile(delays, 95)),
+        max_delay_ms=float(delays.max()),
+        mean_excess_ms=float((without - instance.delay_bound).mean()) if without.size else 0.0,
+        forwarded_fraction=float(forwarded.mean()),
+    )

@@ -1,0 +1,68 @@
+"""Server-resource (bandwidth) metrics.
+
+The paper's secondary performance measure is the server resource utilisation
+``R``: the total bandwidth consumed across all servers divided by the total
+system capacity.  The bracketed numbers in its Tables 1 and 4 and the right
+panels of Figures 5 and 6 report this quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import CAPInstance
+from repro.world.servers import MBPS
+
+__all__ = ["ResourceReport", "resource_utilization", "resource_report"]
+
+
+def resource_utilization(instance: CAPInstance, assignment: Assignment) -> float:
+    """Total consumed bandwidth divided by total capacity (the paper's R)."""
+    return assignment.resource_utilization(instance)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Summary of server bandwidth consumption under an assignment.
+
+    Attributes
+    ----------
+    utilization:
+        Total load / total capacity (the paper's ``R``).
+    total_load_mbps / total_capacity_mbps:
+        Absolute totals.
+    max_server_utilization:
+        Highest per-server load/capacity ratio (a load-balance indicator).
+    overloaded_servers:
+        Number of servers whose load exceeds their capacity.
+    forwarding_overhead_mbps:
+        Extra bandwidth consumed by contact-server forwarding (``RC`` terms);
+        zero for the VirC-based algorithms.
+    """
+
+    utilization: float
+    total_load_mbps: float
+    total_capacity_mbps: float
+    max_server_utilization: float
+    overloaded_servers: int
+    forwarding_overhead_mbps: float
+
+
+def resource_report(instance: CAPInstance, assignment: Assignment) -> ResourceReport:
+    """Compute a :class:`ResourceReport` for an assignment."""
+    loads = assignment.server_loads(instance)
+    capacities = instance.server_capacities
+    per_server_util = loads / capacities
+    forwarded = assignment.forwarded_mask(instance)
+    forwarding_overhead = float((2.0 * instance.client_demands[forwarded]).sum())
+    return ResourceReport(
+        utilization=float(loads.sum() / capacities.sum()),
+        total_load_mbps=float(loads.sum() / MBPS),
+        total_capacity_mbps=float(capacities.sum() / MBPS),
+        max_server_utilization=float(per_server_util.max()) if loads.size else 0.0,
+        overloaded_servers=int(np.sum(loads > capacities * (1 + 1e-9))),
+        forwarding_overhead_mbps=forwarding_overhead / MBPS,
+    )

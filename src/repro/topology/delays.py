@@ -1,0 +1,129 @@
+"""Round-trip delay model derived from a topology.
+
+The assignment algorithms never look at the graph itself; they only consume
+three arrays:
+
+* ``client_server`` — the round-trip delay between every client and every
+  server (``num_clients × num_servers``),
+* ``server_server`` — the round-trip delay over the well-provisioned
+  inter-server mesh (``num_servers × num_servers``), and
+* the delay bound ``D``.
+
+:class:`DelayModel` computes the all-pairs node RTT matrix once (scaled so the
+maximum RTT equals the paper's 500 ms), then slices it per placement.  The
+inter-server mesh uses latencies discounted to 50 % of the underlying path
+RTTs, exactly as in the paper ("we set the network latency between any two
+geographically distributed servers to 50 % of the actual latency values
+obtained from the topology generator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.graph import Topology
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["DelayModel", "DEFAULT_MAX_RTT_MS", "DEFAULT_SERVER_MESH_FACTOR"]
+
+#: Paper default: maximum RTT between any two topology nodes (ms).
+DEFAULT_MAX_RTT_MS = 500.0
+#: Paper default: inter-server latencies are 50 % of the topology latencies.
+DEFAULT_SERVER_MESH_FACTOR = 0.5
+
+
+@dataclass
+class DelayModel:
+    """All-pairs round-trip delays for a topology, with a server-mesh discount.
+
+    Parameters
+    ----------
+    topology:
+        The underlying network topology.
+    max_rtt_ms:
+        The all-pairs RTT matrix is rescaled so its maximum equals this value.
+    server_mesh_factor:
+        Multiplier applied to RTTs between *servers* to model the
+        well-provisioned inter-server connections (0.5 in the paper).
+    """
+
+    topology: Topology
+    max_rtt_ms: float = DEFAULT_MAX_RTT_MS
+    server_mesh_factor: float = DEFAULT_SERVER_MESH_FACTOR
+    _rtt: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_rtt_ms, "max_rtt_ms")
+        check_in_range(self.server_mesh_factor, 0.0, 1.0, "server_mesh_factor")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rtt(self) -> np.ndarray:
+        """Cached all-pairs node round-trip delay matrix (milliseconds)."""
+        if self._rtt is None:
+            self._rtt = self.topology.round_trip_delays(max_rtt_ms=self.max_rtt_ms)
+        return self._rtt
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of topology nodes."""
+        return self.topology.num_nodes
+
+    # ------------------------------------------------------------------ #
+    def node_rtt(self, u: int, v: int) -> float:
+        """RTT between two topology nodes in milliseconds."""
+        return float(self.rtt[u, v])
+
+    def client_server_delays(
+        self, client_nodes: np.ndarray, server_nodes: np.ndarray
+    ) -> np.ndarray:
+        """Round-trip delays between clients and servers.
+
+        Parameters
+        ----------
+        client_nodes:
+            ``(num_clients,)`` topology node index of each client.
+        server_nodes:
+            ``(num_servers,)`` topology node index of each server.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(num_clients, num_servers)`` matrix of RTTs in milliseconds.
+        """
+        client_nodes = self._check_nodes(client_nodes, "client_nodes")
+        server_nodes = self._check_nodes(server_nodes, "server_nodes")
+        return self.rtt[np.ix_(client_nodes, server_nodes)].copy()
+
+    def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
+        """Round-trip delays over the inter-server mesh (discounted).
+
+        The diagonal is exactly zero: forwarding through "the same server"
+        costs nothing, matching Definition 2.1's convention ``d(s_l, s_k) = 0``
+        when the contact and target server coincide.
+        """
+        server_nodes = self._check_nodes(server_nodes, "server_nodes")
+        mesh = self.rtt[np.ix_(server_nodes, server_nodes)] * self.server_mesh_factor
+        np.fill_diagonal(mesh, 0.0)
+        return mesh
+
+    def eccentricity(self, nodes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Maximum RTT from each given node to any other node (diagnostics)."""
+        if nodes is None:
+            return self.rtt.max(axis=1)
+        nodes = self._check_nodes(nodes, "nodes")
+        return self.rtt[nodes].max(axis=1)
+
+    # ------------------------------------------------------------------ #
+    def _check_nodes(self, nodes: np.ndarray, name: str) -> np.ndarray:
+        arr = np.asarray(nodes, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"{name} must be a 1-D array of node indices, got shape {arr.shape}")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.num_nodes):
+            raise ValueError(
+                f"{name} contains node indices outside [0, {self.num_nodes - 1}]"
+            )
+        return arr

@@ -1,0 +1,301 @@
+"""Core network-topology container used by every other subsystem.
+
+A :class:`Topology` is an undirected graph whose nodes are network routers /
+points of presence and whose edges carry a one-way propagation latency (in
+milliseconds).  It is the substrate on which servers and clients are placed
+and from which every client-server / server-server round-trip delay used by
+the assignment algorithms is derived.
+
+The class wraps a :class:`networkx.Graph` for convenient construction and
+inspection, but all heavy numerical work (all-pairs shortest paths) is done on
+a SciPy sparse matrix so that the 500-node topologies of the paper are handled
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components, shortest_path
+
+from repro.utils.validation import check_positive
+
+__all__ = ["Topology", "TopologyError"]
+
+
+class TopologyError(RuntimeError):
+    """Raised when a topology is malformed (disconnected, empty, bad weights)."""
+
+
+@dataclass
+class Topology:
+    """An undirected latency-weighted network graph.
+
+    Parameters
+    ----------
+    positions:
+        ``(num_nodes, 2)`` array of planar (or lon/lat) coordinates.  Only used
+        for distance-derived latencies and plotting; algorithms never read it.
+    edges:
+        ``(num_edges, 2)`` integer array of undirected edges.
+    latencies:
+        ``(num_edges,)`` array of one-way edge latencies in milliseconds.
+    node_domain:
+        Optional ``(num_nodes,)`` integer array giving the AS / domain id of
+        each node (used by the hierarchical generator and by the correlation
+        model that groups clients into geographic regions).
+    name:
+        Human-readable identifier (e.g. ``"brite-hier-500"``).
+    """
+
+    positions: np.ndarray
+    edges: np.ndarray
+    latencies: np.ndarray
+    node_domain: Optional[np.ndarray] = None
+    name: str = "topology"
+    _graph_cache: Optional[nx.Graph] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.edges = np.asarray(self.edges, dtype=np.int64)
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise TopologyError(f"positions must be (n, 2), got {self.positions.shape}")
+        if self.edges.ndim != 2 or self.edges.shape[1] != 2:
+            raise TopologyError(f"edges must be (e, 2), got {self.edges.shape}")
+        if self.latencies.shape != (self.edges.shape[0],):
+            raise TopologyError(
+                f"latencies must have one entry per edge, got {self.latencies.shape} "
+                f"for {self.edges.shape[0]} edges"
+            )
+        if self.num_nodes == 0:
+            raise TopologyError("topology must have at least one node")
+        if self.edges.size and (self.edges.min() < 0 or self.edges.max() >= self.num_nodes):
+            raise TopologyError("edge endpoints out of range")
+        if self.latencies.size and (self.latencies <= 0).any():
+            raise TopologyError("all edge latencies must be strictly positive")
+        if self.node_domain is not None:
+            self.node_domain = np.asarray(self.node_domain, dtype=np.int64)
+            if self.node_domain.shape != (self.num_nodes,):
+                raise TopologyError("node_domain must have one entry per node")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the topology."""
+        return int(self.positions.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edges.shape[0])
+
+    @property
+    def num_domains(self) -> int:
+        """Number of distinct AS / domain ids (1 when no domain labels exist)."""
+        if self.node_domain is None:
+            return 1
+        return int(np.unique(self.node_domain).size)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_networkx(
+        cls,
+        graph: nx.Graph,
+        latency_attr: str = "latency",
+        position_attr: str = "pos",
+        domain_attr: str = "domain",
+        name: str = "topology",
+    ) -> "Topology":
+        """Build a :class:`Topology` from a networkx graph.
+
+        Nodes are relabelled to ``0..n-1`` in sorted order of their original
+        labels; every edge must carry a positive ``latency_attr``.
+        """
+        nodes = sorted(graph.nodes())
+        index: Dict[object, int] = {node: i for i, node in enumerate(nodes)}
+        positions = np.zeros((len(nodes), 2), dtype=np.float64)
+        domains = np.zeros(len(nodes), dtype=np.int64)
+        has_domain = False
+        for node, i in index.items():
+            data = graph.nodes[node]
+            pos = data.get(position_attr, (0.0, 0.0))
+            positions[i] = (float(pos[0]), float(pos[1]))
+            if domain_attr in data:
+                has_domain = True
+                domains[i] = int(data[domain_attr])
+        edges = np.zeros((graph.number_of_edges(), 2), dtype=np.int64)
+        latencies = np.zeros(graph.number_of_edges(), dtype=np.float64)
+        for k, (u, v, data) in enumerate(graph.edges(data=True)):
+            edges[k] = (index[u], index[v])
+            if latency_attr not in data:
+                raise TopologyError(f"edge ({u}, {v}) missing '{latency_attr}' attribute")
+            latencies[k] = float(data[latency_attr])
+        return cls(
+            positions=positions,
+            edges=edges,
+            latencies=latencies,
+            node_domain=domains if has_domain else None,
+            name=name,
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        """Return an equivalent :class:`networkx.Graph` (cached)."""
+        if self._graph_cache is None:
+            g = nx.Graph(name=self.name)
+            for i in range(self.num_nodes):
+                attrs = {"pos": tuple(self.positions[i])}
+                if self.node_domain is not None:
+                    attrs["domain"] = int(self.node_domain[i])
+                g.add_node(i, **attrs)
+            for (u, v), lat in zip(self.edges, self.latencies):
+                g.add_edge(int(u), int(v), latency=float(lat))
+            self._graph_cache = g
+        return self._graph_cache
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Sparse symmetric adjacency matrix with latencies as weights."""
+        n = self.num_nodes
+        if self.num_edges == 0:
+            return sp.csr_matrix((n, n))
+        row = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        col = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        data = np.concatenate([self.latencies, self.latencies])
+        return sp.csr_matrix((data, (row, col)), shape=(n, n))
+
+    def is_connected(self) -> bool:
+        """True iff every node can reach every other node."""
+        if self.num_nodes == 1:
+            return True
+        n_comp, _ = connected_components(self.adjacency_matrix(), directed=False)
+        return n_comp == 1
+
+    def degree(self) -> np.ndarray:
+        """Per-node degree counts."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        if self.num_edges:
+            np.add.at(deg, self.edges[:, 0], 1)
+            np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    def domain_nodes(self, domain: int) -> np.ndarray:
+        """Node indices that belong to AS / domain ``domain``."""
+        if self.node_domain is None:
+            if domain != 0:
+                raise ValueError("topology has no domain labels; only domain 0 exists")
+            return np.arange(self.num_nodes)
+        return np.flatnonzero(self.node_domain == domain)
+
+    # ------------------------------------------------------------------ #
+    # Delay computation
+    # ------------------------------------------------------------------ #
+    def shortest_path_latencies(self) -> np.ndarray:
+        """All-pairs one-way shortest-path latency matrix (milliseconds).
+
+        Raises :class:`TopologyError` if the topology is disconnected, since a
+        disconnected DVE substrate has no meaningful client-server delays.
+        """
+        dist = shortest_path(self.adjacency_matrix(), method="D", directed=False)
+        if not np.isfinite(dist).all():
+            raise TopologyError(
+                f"topology '{self.name}' is disconnected; cannot compute all-pairs delays"
+            )
+        return dist
+
+    def round_trip_delays(self, max_rtt_ms: Optional[float] = None) -> np.ndarray:
+        """All-pairs round-trip delay matrix in milliseconds.
+
+        RTT is twice the one-way shortest path latency.  If ``max_rtt_ms`` is
+        given the whole matrix is linearly rescaled so the largest off-diagonal
+        RTT equals ``max_rtt_ms`` — this mirrors the paper's setup where "the
+        maximum round-trip delay between any two nodes is set to 500 ms".
+        """
+        rtt = 2.0 * self.shortest_path_latencies()
+        if max_rtt_ms is not None:
+            check_positive(max_rtt_ms, "max_rtt_ms")
+            current_max = float(rtt.max())
+            if current_max > 0:
+                rtt = rtt * (max_rtt_ms / current_max)
+        np.fill_diagonal(rtt, 0.0)
+        return rtt
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def with_name(self, name: str) -> "Topology":
+        """Return a copy of this topology carrying a different name."""
+        return Topology(
+            positions=self.positions.copy(),
+            edges=self.edges.copy(),
+            latencies=self.latencies.copy(),
+            node_domain=None if self.node_domain is None else self.node_domain.copy(),
+            name=name,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Small dict of descriptive statistics (used by the CLI)."""
+        deg = self.degree()
+        return {
+            "name": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "domains": self.num_domains,
+            "mean_degree": float(deg.mean()) if deg.size else 0.0,
+            "max_degree": int(deg.max()) if deg.size else 0,
+            "mean_latency_ms": float(self.latencies.mean()) if self.latencies.size else 0.0,
+        }
+
+
+def merge_topologies(
+    parts: Iterable[Topology],
+    cross_edges: Iterable[Tuple[int, int, float]],
+    name: str = "merged",
+) -> Topology:
+    """Merge disjoint topologies into one, adding cross edges between them.
+
+    ``cross_edges`` are given in *global* node indices of the concatenated
+    topology (parts are concatenated in iteration order).  Used by the
+    hierarchical generator to stitch per-AS router graphs together.
+    """
+    parts = list(parts)
+    if not parts:
+        raise TopologyError("merge_topologies needs at least one part")
+    offsets = np.cumsum([0] + [p.num_nodes for p in parts[:-1]])
+    positions = np.vstack([p.positions for p in parts])
+    edges = []
+    latencies = []
+    domains = []
+    for offset, part in zip(offsets, parts):
+        if part.num_edges:
+            edges.append(part.edges + offset)
+            latencies.append(part.latencies)
+        if part.node_domain is not None:
+            domains.append(part.node_domain)
+        else:
+            domains.append(np.zeros(part.num_nodes, dtype=np.int64))
+    cross = list(cross_edges)
+    if cross:
+        cross_arr = np.array([(u, v) for u, v, _ in cross], dtype=np.int64)
+        cross_lat = np.array([lat for _, _, lat in cross], dtype=np.float64)
+        edges.append(cross_arr)
+        latencies.append(cross_lat)
+    all_edges = np.vstack(edges) if edges else np.zeros((0, 2), dtype=np.int64)
+    all_lat = np.concatenate(latencies) if latencies else np.zeros(0, dtype=np.float64)
+    return Topology(
+        positions=positions,
+        edges=all_edges,
+        latencies=all_lat,
+        node_domain=np.concatenate(domains),
+        name=name,
+    )

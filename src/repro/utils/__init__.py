@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG helpers, validation, timing.
+
+These helpers are deliberately tiny and dependency-free so that every other
+subpackage (topology, world, core, experiments) can rely on them without
+import cycles.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_array_shape,
+    check_in_range,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_array_shape",
+    "check_in_range",
+    "Timer",
+]

@@ -1,0 +1,66 @@
+"""Simple wall-clock timing utilities for the experiment harness.
+
+The paper reports algorithm execution times (heuristics < 1 s, the exact MILP
+0.2 s / 41.5 s / > 10 h depending on instance size); the runtime experiment
+(E9 in DESIGN.md) needs a small timing helper that works both standalone and
+inside pytest-benchmark runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Timer", "time_call"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    def start(self) -> "Timer":
+        """Imperative alternative to the context-manager protocol."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+def time_call(func: Callable, *args, repeats: int = 1, **kwargs) -> tuple[float, object]:
+    """Call ``func`` ``repeats`` times, returning (best elapsed seconds, last result)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -1,0 +1,58 @@
+"""DVE world model: servers, zones, clients, bandwidth and scenario assembly.
+
+This package turns the paper's Section 4.1 simulation parameters into concrete
+immutable objects:
+
+* :class:`~repro.world.servers.ServerSet` — geographically distributed servers
+  with bandwidth capacities.
+* :class:`~repro.world.zones.VirtualWorld` — the zone-partitioned world.
+* :class:`~repro.world.clients.ClientPopulation` — clients' physical nodes and
+  avatar zones.
+* :class:`~repro.world.bandwidth.BandwidthModel` — the quadratic client-server
+  bandwidth model.
+* :mod:`repro.world.distributions` / :mod:`repro.world.correlation` — uniform /
+  clustered client distributions and the physical↔virtual correlation delta.
+* :class:`~repro.world.scenario.DVEScenario` — everything assembled, ready for
+  the assignment algorithms in :mod:`repro.core`.
+"""
+
+from repro.world.bandwidth import (
+    DEFAULT_FRAME_RATE,
+    DEFAULT_MESSAGE_BYTES,
+    BandwidthModel,
+)
+from repro.world.clients import ClientPopulation
+from repro.world.correlation import RegionZoneMap, correlated_zone_choice
+from repro.world.distributions import (
+    DISTRIBUTION_TYPES,
+    DistributionSpec,
+    distribution_type,
+    sample_client_nodes,
+    sample_client_zones,
+    zone_weights,
+)
+from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
+from repro.world.servers import MBPS, ServerSet, allocate_capacities
+from repro.world.zones import VirtualWorld
+
+__all__ = [
+    "BandwidthModel",
+    "DEFAULT_FRAME_RATE",
+    "DEFAULT_MESSAGE_BYTES",
+    "ClientPopulation",
+    "RegionZoneMap",
+    "correlated_zone_choice",
+    "DistributionSpec",
+    "DISTRIBUTION_TYPES",
+    "distribution_type",
+    "zone_weights",
+    "sample_client_nodes",
+    "sample_client_zones",
+    "DVEConfig",
+    "DVEScenario",
+    "build_scenario",
+    "ServerSet",
+    "allocate_capacities",
+    "MBPS",
+    "VirtualWorld",
+]

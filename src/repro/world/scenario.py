@@ -1,0 +1,309 @@
+"""DVE scenario assembly: configuration → fully materialised simulation state.
+
+A :class:`DVEConfig` captures every knob of the paper's Section 4.1 setup (the
+``<m>s-<n>z-<k>c-<P>cp`` notation plus delay bound, correlation, distributions
+and bandwidth-model parameters).  :func:`build_scenario` expands a config into
+a :class:`DVEScenario`: topology, delay model, placed servers with capacities,
+the client population, per-client bandwidth demands, and the two delay
+matrices that the assignment algorithms consume.
+
+Scenarios are immutable snapshots; the dynamics substrate produces new
+scenarios from old ones via :meth:`DVEScenario.with_population` when clients
+join, leave or move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.brite import BriteConfig, generate_topology
+from repro.topology.delays import (
+    DEFAULT_MAX_RTT_MS,
+    DEFAULT_SERVER_MESH_FACTOR,
+    DelayModel,
+)
+from repro.topology.graph import Topology
+from repro.topology.placement import place_servers
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.validation import check_positive, check_probability
+from repro.world.bandwidth import (
+    DEFAULT_FRAME_RATE,
+    DEFAULT_MESSAGE_BYTES,
+    BandwidthModel,
+)
+from repro.world.clients import ClientPopulation
+from repro.world.distributions import DistributionSpec, sample_client_nodes, sample_client_zones
+from repro.world.servers import MBPS, ServerSet, allocate_capacities
+from repro.world.zones import VirtualWorld
+
+__all__ = ["DVEConfig", "DVEScenario", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class DVEConfig:
+    """Declarative description of a DVE simulation scenario.
+
+    The defaults reproduce the paper's default configuration:
+    20 servers, 80 zones, 1000 clients, 500 Mbps total capacity, minimum server
+    capacity 10 Mbps, delay bound 250 ms, correlation 0.5, uniform client
+    distributions, 25 msg/s × 100 B bandwidth model, 500-node BRITE-like
+    hierarchical topology with 500 ms maximum RTT and a 50 %-latency
+    inter-server mesh.
+    """
+
+    num_servers: int = 20
+    num_zones: int = 80
+    num_clients: int = 1000
+    total_capacity_mbps: float = 500.0
+    min_server_capacity_mbps: float = 10.0
+    delay_bound_ms: float = 250.0
+    correlation: float = 0.5
+    physical_distribution: str = "uniform"
+    virtual_distribution: str = "uniform"
+    hot_zone_factor: float = 10.0
+    hot_zone_fraction: float = 0.1
+    physical_hotspots: int = 10
+    physical_hotspot_fraction: float = 0.7
+    frame_rate: float = DEFAULT_FRAME_RATE
+    message_bytes: float = DEFAULT_MESSAGE_BYTES
+    capacity_scheme: str = "random"
+    max_rtt_ms: float = DEFAULT_MAX_RTT_MS
+    server_mesh_factor: float = DEFAULT_SERVER_MESH_FACTOR
+    topology: BriteConfig = field(default_factory=BriteConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        if self.num_zones < 1:
+            raise ValueError("num_zones must be >= 1")
+        if self.num_clients < 0:
+            raise ValueError("num_clients must be >= 0")
+        check_positive(self.total_capacity_mbps, "total_capacity_mbps")
+        check_positive(self.delay_bound_ms, "delay_bound_ms")
+        check_probability(self.correlation, "correlation")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """The paper's configuration notation, e.g. ``"20s-80z-1000c-500cp"``."""
+        cap = self.total_capacity_mbps
+        cap_str = f"{int(cap)}" if float(cap).is_integer() else f"{cap:g}"
+        return f"{self.num_servers}s-{self.num_zones}z-{self.num_clients}c-{cap_str}cp"
+
+    @property
+    def distribution_spec(self) -> DistributionSpec:
+        """The distribution spec implied by this config."""
+        return DistributionSpec(
+            physical=self.physical_distribution,
+            virtual=self.virtual_distribution,
+            correlation=self.correlation,
+            hot_zone_factor=self.hot_zone_factor,
+            hot_zone_fraction=self.hot_zone_fraction,
+            physical_hotspots=self.physical_hotspots,
+            physical_hotspot_fraction=self.physical_hotspot_fraction,
+        )
+
+    @property
+    def bandwidth_model(self) -> BandwidthModel:
+        """The bandwidth model implied by this config."""
+        return BandwidthModel(frame_rate=self.frame_rate, message_bytes=self.message_bytes)
+
+    def with_updates(self, **kwargs) -> "DVEConfig":
+        """Return a copy of this config with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class DVEScenario:
+    """A fully materialised DVE instance, ready for assignment algorithms.
+
+    Attributes
+    ----------
+    config:
+        The generating configuration.
+    topology / delay_model:
+        The network substrate and its delay matrices.
+    servers:
+        Server nodes and capacities.
+    world:
+        The zone-partitioned virtual world.
+    population:
+        Client physical nodes and avatar zones.
+    client_server_delays:
+        ``(num_clients, num_servers)`` RTT matrix (ms).
+    server_server_delays:
+        ``(num_servers, num_servers)`` inter-server mesh RTT matrix (ms).
+    client_demands:
+        ``(num_clients,)`` per-client target-server bandwidth demand (bits/s).
+    """
+
+    config: DVEConfig
+    topology: Topology
+    delay_model: DelayModel
+    servers: ServerSet
+    world: VirtualWorld
+    population: ClientPopulation
+    client_server_delays: np.ndarray
+    server_server_delays: np.ndarray
+    client_demands: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        """Number of servers."""
+        return self.servers.num_servers
+
+    @property
+    def num_zones(self) -> int:
+        """Number of zones."""
+        return self.world.num_zones
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients."""
+        return self.population.num_clients
+
+    @property
+    def delay_bound_ms(self) -> float:
+        """DVE interactivity delay bound D in milliseconds."""
+        return self.config.delay_bound_ms
+
+    def zone_demands(self) -> np.ndarray:
+        """Per-zone bandwidth demand (bits/s), summing per-client demands."""
+        demands = np.zeros(self.num_zones, dtype=np.float64)
+        np.add.at(demands, self.population.zones, self.client_demands)
+        return demands
+
+    def zone_populations(self) -> np.ndarray:
+        """Number of clients in each zone."""
+        return self.population.zone_populations(self.num_zones)
+
+    def total_demand(self) -> float:
+        """Total target-server bandwidth demand of the system (bits/s)."""
+        return float(self.client_demands.sum())
+
+    def demand_to_capacity_ratio(self) -> float:
+        """Total demand divided by total capacity (a rough load factor)."""
+        return self.total_demand() / self.servers.total_capacity
+
+    # ------------------------------------------------------------------ #
+    def with_population(self, population: ClientPopulation) -> "DVEScenario":
+        """Return a new scenario for a different client population snapshot.
+
+        Client-server delays and per-client demands are recomputed; topology,
+        servers and configuration are shared (they are immutable).
+        """
+        if population.zones.size and population.zones.max() >= self.num_zones:
+            raise ValueError("population refers to zones outside this scenario's world")
+        delays = self.delay_model.client_server_delays(population.nodes, self.servers.nodes)
+        demands = self.config.bandwidth_model.client_target_demands(
+            population.zones, self.num_zones
+        )
+        return DVEScenario(
+            config=self.config,
+            topology=self.topology,
+            delay_model=self.delay_model,
+            servers=self.servers,
+            world=self.world,
+            population=population,
+            client_server_delays=delays,
+            server_server_delays=self.server_server_delays,
+            client_demands=demands,
+        )
+
+    def summary(self) -> dict:
+        """Descriptive statistics used by the CLI and reports."""
+        return {
+            "label": self.config.label,
+            "servers": self.num_servers,
+            "zones": self.num_zones,
+            "clients": self.num_clients,
+            "total_capacity_mbps": self.servers.total_capacity_mbps,
+            "total_demand_mbps": self.total_demand() / MBPS,
+            "load_factor": self.demand_to_capacity_ratio(),
+            "delay_bound_ms": self.delay_bound_ms,
+            "correlation": self.config.correlation,
+            "topology": self.topology.name,
+        }
+
+
+def build_scenario(
+    config: DVEConfig | None = None,
+    seed: SeedLike = None,
+    topology: Optional[Topology] = None,
+    delay_model: Optional[DelayModel] = None,
+) -> DVEScenario:
+    """Materialise a :class:`DVEScenario` from a configuration.
+
+    Parameters
+    ----------
+    config:
+        Scenario configuration (paper defaults when omitted).
+    seed:
+        Master seed; sub-streams for topology generation, server placement,
+        capacity allocation, client placement and zone sampling are derived
+        from it deterministically.
+    topology / delay_model:
+        Optionally reuse an existing topology (and its expensive all-pairs
+        delay matrix) across scenarios — the experiment runner does this when
+        averaging over many simulation runs on the same substrate.
+    """
+    config = config or DVEConfig()
+    rng = as_generator(seed)
+    (
+        topo_rng,
+        server_rng,
+        capacity_rng,
+        client_node_rng,
+        client_zone_rng,
+    ) = spawn_generators(rng, 5)
+
+    if topology is None:
+        topology = generate_topology(config.topology, seed=topo_rng)
+    if delay_model is None:
+        delay_model = DelayModel(
+            topology,
+            max_rtt_ms=config.max_rtt_ms,
+            server_mesh_factor=config.server_mesh_factor,
+        )
+    elif delay_model.topology is not topology:
+        raise ValueError("delay_model must be built from the supplied topology")
+
+    server_nodes = place_servers(topology, config.num_servers, seed=server_rng)
+    capacities = allocate_capacities(
+        config.num_servers,
+        config.total_capacity_mbps,
+        min_capacity_mbps=config.min_server_capacity_mbps,
+        scheme=config.capacity_scheme,
+        seed=capacity_rng,
+    )
+    servers = ServerSet(nodes=server_nodes, capacities=capacities)
+
+    spec = config.distribution_spec
+    client_nodes = sample_client_nodes(topology, config.num_clients, spec, seed=client_node_rng)
+    client_zones = sample_client_zones(
+        topology, client_nodes, config.num_zones, spec, seed=client_zone_rng
+    )
+    population = ClientPopulation(nodes=client_nodes, zones=client_zones)
+
+    world = VirtualWorld(num_zones=config.num_zones)
+    client_server_delays = delay_model.client_server_delays(client_nodes, servers.nodes)
+    server_server_delays = delay_model.server_server_delays(servers.nodes)
+    client_demands = config.bandwidth_model.client_target_demands(
+        client_zones, config.num_zones
+    )
+
+    return DVEScenario(
+        config=config,
+        topology=topology,
+        delay_model=delay_model,
+        servers=servers,
+        world=world,
+        population=population,
+        client_server_delays=client_server_delays,
+        server_server_delays=server_server_delays,
+        client_demands=client_demands,
+    )

@@ -1,0 +1,133 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (topologies, scenarios) are session-scoped so the whole
+suite builds them once; individual tests must never mutate them (all library
+objects are immutable dataclasses, so accidental mutation raises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.baselines  # noqa: F401  (registers baseline solvers for registry tests)
+from repro.core.problem import CAPInstance
+from repro.topology.brite import BriteConfig
+from repro.topology.waxman import waxman_topology
+from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
+
+#: A small hierarchical topology configuration used throughout the tests —
+#: same generative structure as the paper's 500-node substrate, scaled down
+#: so the suite stays fast.
+SMALL_BRITE = BriteConfig(model="hierarchical", num_nodes=60, num_as=6, routers_per_as=10)
+
+
+def make_small_config(**overrides) -> DVEConfig:
+    """A small-but-realistic DVE configuration for tests."""
+    params = dict(
+        num_servers=5,
+        num_zones=12,
+        num_clients=150,
+        total_capacity_mbps=100.0,
+        min_server_capacity_mbps=5.0,
+        topology=SMALL_BRITE,
+    )
+    params.update(overrides)
+    return DVEConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DVEConfig:
+    """Session-wide small configuration (5 servers, 12 zones, 150 clients)."""
+    return make_small_config()
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_config: DVEConfig) -> DVEScenario:
+    """Session-wide materialised small scenario."""
+    return build_scenario(small_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_scenario: DVEScenario) -> CAPInstance:
+    """CAP instance of the small scenario."""
+    return CAPInstance.from_scenario(small_scenario)
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A small flat Waxman topology (40 nodes) for topology-level tests."""
+    return waxman_topology(40, seed=3, name="test-waxman-40")
+
+
+def make_tiny_instance(
+    delay_bound: float = 100.0,
+    capacities=(1000.0, 1000.0, 1000.0),
+) -> CAPInstance:
+    """A hand-crafted 3-server / 4-zone / 8-client instance with known structure.
+
+    * Zone 0's clients (0, 1) are close only to server 0.
+    * Zone 1's clients (2, 3) are close only to server 1.
+    * Zone 2's clients (4, 5) are close only to server 2.
+    * Zone 3's clients (6, 7) are 120 ms from server 0, 60 ms from server 1 and
+      far from server 2 — so if zone 3 is hosted by server 0 they miss the
+      100 ms bound directly but can reach it by forwarding through server 1
+      (60 + 30 = 90 ms).
+    """
+    client_server_delays = np.array(
+        [
+            [50.0, 300.0, 300.0],
+            [50.0, 300.0, 300.0],
+            [300.0, 50.0, 300.0],
+            [300.0, 50.0, 300.0],
+            [300.0, 300.0, 50.0],
+            [300.0, 300.0, 50.0],
+            [120.0, 60.0, 300.0],
+            [120.0, 60.0, 300.0],
+        ]
+    )
+    server_server_delays = np.array(
+        [
+            [0.0, 30.0, 40.0],
+            [30.0, 0.0, 50.0],
+            [40.0, 50.0, 0.0],
+        ]
+    )
+    client_zones = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+    client_demands = np.full(8, 10.0)
+    return CAPInstance(
+        client_server_delays=client_server_delays,
+        server_server_delays=server_server_delays,
+        client_zones=client_zones,
+        client_demands=client_demands,
+        server_capacities=np.asarray(capacities, dtype=float),
+        delay_bound=delay_bound,
+        num_zones=4,
+    )
+
+
+@pytest.fixture()
+def tiny_instance() -> CAPInstance:
+    """Fresh hand-crafted tiny instance (cheap to build, so function-scoped)."""
+    return make_tiny_instance()
+
+
+@pytest.fixture()
+def tight_instance() -> CAPInstance:
+    """Tiny instance whose capacities only just fit the zone demands.
+
+    Each zone demands 20 (two clients × 10) and each server can hold at most
+    two zones (45 < 3 × 20), so capacity-aware placement becomes observable
+    while the instance stays feasible overall (135 > 80).
+    """
+    return make_tiny_instance(capacities=(45.0, 45.0, 45.0))
+
+
+@pytest.fixture()
+def overloaded_instance() -> CAPInstance:
+    """Tiny instance whose total demand (80) exceeds the total capacity (75).
+
+    Used to exercise the best-effort fallbacks and the ``capacity_exceeded``
+    flags of the heuristics.
+    """
+    return make_tiny_instance(capacities=(25.0, 25.0, 25.0))

@@ -1,0 +1,109 @@
+"""Tests for the repro-dve command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-dve" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListCommand:
+    def test_lists_experiments_and_solvers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "grez-grec" in out
+        assert "optimal" in out
+
+
+class TestSolveCommand:
+    def test_solve_small_config(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--config",
+                "4s-8z-80c-60cp",
+                "--algorithms",
+                "grez-grec",
+                "ranz-virc",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4s-8z-80c-60cp" in out
+        assert "grez-grec" in out and "ranz-virc" in out
+
+    def test_solve_with_detail_and_delay_bound(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--config",
+                "4s-8z-80c-60cp",
+                "--algorithms",
+                "grez-virc",
+                "--delay-bound-ms",
+                "200",
+                "--detail",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forwarded_fraction" in out
+
+    def test_solve_invalid_config_label(self):
+        with pytest.raises(ValueError):
+            main(["solve", "--config", "not-a-label"])
+
+
+class TestExperimentCommand:
+    def test_runs_figure5_quickly(self, capsys, monkeypatch):
+        # Shrink the experiment through its own keyword interface by patching the
+        # registry entry's runner with smaller defaults.
+        from repro.experiments import registry as reg
+
+        spec = reg.get_experiment("figure5")
+
+        def tiny_run(num_runs=1, seed=0):
+            return spec.run(
+                label="5s-15z-200c-100cp",
+                correlations=[0.5],
+                algorithms=["grez-virc"],
+                num_runs=num_runs,
+                seed=seed,
+            )
+
+        monkeypatch.setitem(
+            reg.EXPERIMENTS,
+            "figure5",
+            reg.ExperimentSpec(
+                experiment_id="figure5",
+                paper_artifact=spec.paper_artifact,
+                description=spec.description,
+                run=tiny_run,
+                format=spec.format,
+            ),
+        )
+        assert main(["experiment", "figure5", "--runs", "1", "--seed", "0"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

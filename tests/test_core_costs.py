@@ -1,0 +1,105 @@
+"""Tests for repro.core.costs — the IAP and RAP cost matrices (Equations 3 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    delays_to_targets,
+    initial_cost_matrix,
+    qos_indicator,
+    refined_cost_matrix,
+)
+
+
+class TestInitialCostMatrix:
+    def test_known_values(self, tiny_instance):
+        cost = initial_cost_matrix(tiny_instance)  # (servers, zones)
+        assert cost.shape == (3, 4)
+        # Zone 0 on server 0: both clients within 100 ms → 0 misses;
+        # on servers 1, 2: both miss.
+        np.testing.assert_allclose(cost[:, 0], [0, 2, 2])
+        # Zone 3 (clients at 120/60/300 ms): misses on servers 0 and 2 only.
+        np.testing.assert_allclose(cost[:, 3], [2, 0, 2])
+
+    def test_cost_counts_clients_not_bandwidth(self, tiny_instance):
+        cost = initial_cost_matrix(tiny_instance)
+        assert cost.max() <= tiny_instance.zone_populations().max()
+        assert (cost >= 0).all()
+
+    def test_cost_depends_on_delay_bound(self, tiny_instance):
+        generous = initial_cost_matrix(tiny_instance.with_delay_bound(1000.0))
+        np.testing.assert_allclose(generous, 0.0)
+        strict = initial_cost_matrix(tiny_instance.with_delay_bound(10.0))
+        np.testing.assert_allclose(strict.sum(axis=0), 3 * tiny_instance.zone_populations())
+
+    def test_boundary_is_inclusive(self, tiny_instance):
+        # A delay exactly equal to D satisfies QoS ("> D" counts as a miss).
+        cost = initial_cost_matrix(tiny_instance.with_delay_bound(50.0))
+        np.testing.assert_allclose(cost[0, 0], 0.0)
+
+
+class TestRefinedCostMatrix:
+    def test_known_values(self, tiny_instance):
+        zone_to_server = np.array([0, 1, 2, 0])  # zone 3 hosted by server 0
+        cost = refined_cost_matrix(tiny_instance, zone_to_server)  # (servers, clients)
+        assert cost.shape == (3, 8)
+        # Client 6 (zone 3, target server 0):
+        #   contact 0: 120 + 0 - 100 = 20
+        #   contact 1: 60 + 30 - 100 = 0 (within bound → clamped to 0)
+        #   contact 2: 300 + 40 - 100 = 240
+        np.testing.assert_allclose(cost[:, 6], [20.0, 0.0, 240.0])
+        # Client 0 (zone 0, target 0) is fine directly.
+        assert cost[0, 0] == 0.0
+
+    def test_all_non_negative(self, tiny_instance):
+        cost = refined_cost_matrix(tiny_instance, np.array([0, 1, 2, 1]))
+        assert (cost >= 0).all()
+
+    def test_shape_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            refined_cost_matrix(tiny_instance, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            refined_cost_matrix(tiny_instance, np.array([0, 1, 2, 9]))
+
+
+class TestDelaysToTargets:
+    def test_direct_delays(self, tiny_instance):
+        zone_to_server = np.array([0, 1, 2, 0])
+        delays = delays_to_targets(tiny_instance, zone_to_server)
+        np.testing.assert_allclose(delays, [50, 50, 50, 50, 50, 50, 120, 120])
+
+    def test_forwarded_delays(self, tiny_instance):
+        zone_to_server = np.array([0, 1, 2, 0])
+        contacts = np.array([0, 0, 1, 1, 2, 2, 1, 0])
+        delays = delays_to_targets(tiny_instance, zone_to_server, contacts)
+        # Client 6 forwards through server 1: 60 + d(s1, s0)=30 → 90.
+        assert delays[6] == pytest.approx(90.0)
+        # Client 7 stays direct on its target server 0: 120.
+        assert delays[7] == pytest.approx(120.0)
+
+    def test_contact_equals_target_matches_direct(self, tiny_instance):
+        zone_to_server = np.array([0, 1, 2, 0])
+        contacts = zone_to_server[tiny_instance.client_zones]
+        np.testing.assert_allclose(
+            delays_to_targets(tiny_instance, zone_to_server, contacts),
+            delays_to_targets(tiny_instance, zone_to_server),
+        )
+
+    def test_contact_shape_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            delays_to_targets(tiny_instance, np.array([0, 1, 2, 0]), np.array([0, 1]))
+
+
+class TestQosIndicator:
+    def test_threshold_inclusive(self, tiny_instance):
+        delays = np.array([99.0, 100.0, 100.01, 400.0, 0.0, 50.0, 100.0, 250.0])
+        mask = qos_indicator(tiny_instance, delays)
+        np.testing.assert_array_equal(
+            mask, [True, True, False, False, True, True, True, False]
+        )
+
+    def test_shape_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            qos_indicator(tiny_instance, np.array([1.0, 2.0]))

@@ -1,0 +1,179 @@
+"""Tests for the four phase heuristics: RanZ, GreZ (IAP) and VirC, GreC (RAP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import ZoneAssignment
+from repro.core.costs import initial_cost_matrix
+from repro.core.grec import assign_contacts_greedy
+from repro.core.grez import assign_zones_greedy
+from repro.core.problem import CAPInstance
+from repro.core.ranz import assign_zones_random
+from repro.core.virc import assign_contacts_virtual
+from tests.conftest import make_tiny_instance
+
+
+class TestRanZ:
+    def test_all_zones_assigned_within_capacity(self, small_instance):
+        result = assign_zones_random(small_instance, seed=0)
+        assert result.num_zones == small_instance.num_zones
+        assert (result.zone_to_server >= 0).all()
+        assert (result.zone_to_server < small_instance.num_servers).all()
+        loads = result.server_zone_loads(small_instance)
+        assert (loads <= small_instance.server_capacities * (1 + 1e-6)).all()
+        assert not result.capacity_exceeded
+
+    def test_deterministic_for_seed(self, small_instance):
+        a = assign_zones_random(small_instance, seed=5)
+        b = assign_zones_random(small_instance, seed=5)
+        np.testing.assert_array_equal(a.zone_to_server, b.zone_to_server)
+
+    def test_different_seeds_generally_differ(self, small_instance):
+        a = assign_zones_random(small_instance, seed=1)
+        b = assign_zones_random(small_instance, seed=2)
+        assert not np.array_equal(a.zone_to_server, b.zone_to_server)
+
+    def test_algorithm_name_and_runtime(self, tiny_instance):
+        result = assign_zones_random(tiny_instance, seed=0)
+        assert result.algorithm == "ranz"
+        assert result.runtime_seconds >= 0.0
+
+    def test_overload_flagged_when_capacity_insufficient(self, overloaded_instance):
+        result = assign_zones_random(overloaded_instance, seed=0)
+        assert result.capacity_exceeded
+        assert (result.zone_to_server >= 0).all()
+
+    def test_ignores_delays(self, tiny_instance):
+        # RanZ is delay-oblivious: doubling all delays cannot change the result
+        # for the same seed because delays never enter its decisions.
+        doubled = tiny_instance.with_delays(
+            client_server_delays=2 * tiny_instance.client_server_delays
+        )
+        a = assign_zones_random(tiny_instance, seed=3)
+        b = assign_zones_random(doubled, seed=3)
+        np.testing.assert_array_equal(a.zone_to_server, b.zone_to_server)
+
+
+class TestGreZ:
+    def test_tiny_instance_gets_obvious_assignment(self, tiny_instance):
+        result = assign_zones_greedy(tiny_instance)
+        # Zones 0-2 must go to their dedicated server; zone 3's best is server 1.
+        np.testing.assert_array_equal(result.zone_to_server[:3], [0, 1, 2])
+        assert result.zone_to_server[3] == 1
+        assert result.algorithm == "grez"
+        assert not result.capacity_exceeded
+
+    def test_capacity_respected(self, tight_instance):
+        result = assign_zones_greedy(tight_instance)
+        loads = result.server_zone_loads(tight_instance)
+        assert (loads <= tight_instance.server_capacities * (1 + 1e-6)).all()
+        assert not result.capacity_exceeded
+
+    def test_overloaded_instance_flags(self, overloaded_instance):
+        result = assign_zones_greedy(overloaded_instance)
+        assert result.capacity_exceeded
+
+    def test_never_worse_than_random_on_average(self, small_instance):
+        greedy_cost = _zone_assignment_cost(small_instance, assign_zones_greedy(small_instance))
+        random_costs = [
+            _zone_assignment_cost(small_instance, assign_zones_random(small_instance, seed=s))
+            for s in range(5)
+        ]
+        assert greedy_cost <= np.mean(random_costs)
+
+    def test_dynamic_variant_name(self, tiny_instance):
+        result = assign_zones_greedy(tiny_instance, recompute_regret=True)
+        assert result.algorithm == "grez-dynamic"
+        np.testing.assert_array_equal(result.zone_to_server[:3], [0, 1, 2])
+
+    def test_deterministic(self, small_instance):
+        a = assign_zones_greedy(small_instance)
+        b = assign_zones_greedy(small_instance)
+        np.testing.assert_array_equal(a.zone_to_server, b.zone_to_server)
+
+
+def _zone_assignment_cost(instance: CAPInstance, zones: ZoneAssignment) -> float:
+    """Total IAP cost C^I(x) of a zone assignment (number of QoS misses)."""
+    cost = initial_cost_matrix(instance)
+    return float(cost[zones.zone_to_server, np.arange(instance.num_zones)].sum())
+
+
+class TestVirC:
+    def test_contact_equals_target(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]), algorithm="grez")
+        assignment = assign_contacts_virtual(tiny_instance, zones)
+        np.testing.assert_array_equal(
+            assignment.contact_of_client, zones.targets_of_clients(tiny_instance)
+        )
+        assert assignment.algorithm == "grez-virc"
+        assert not assignment.forwarded_mask(tiny_instance).any()
+
+    def test_no_forwarding_overhead(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]))
+        assignment = assign_contacts_virtual(tiny_instance, zones)
+        np.testing.assert_allclose(
+            assignment.server_loads(tiny_instance), zones.server_zone_loads(tiny_instance)
+        )
+
+    def test_zone_count_mismatch_rejected(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            assign_contacts_virtual(tiny_instance, zones)
+
+    def test_propagates_capacity_flag(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]), capacity_exceeded=True)
+        assert assign_contacts_virtual(tiny_instance, zones).capacity_exceeded
+
+
+class TestGreC:
+    def test_forwards_clients_over_the_mesh(self, tiny_instance):
+        # Host zone 3 on server 0 so clients 6, 7 miss the bound directly
+        # (120 > 100) but can make it through server 1 (60 + 30 = 90).
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]), algorithm="grez")
+        assignment = assign_contacts_greedy(tiny_instance, zones)
+        assert assignment.algorithm == "grez-grec"
+        assert assignment.contact_of_client[6] == 1
+        assert assignment.contact_of_client[7] == 1
+        assert assignment.pqos(tiny_instance) == pytest.approx(1.0)
+
+    def test_satisfied_clients_keep_their_target(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]))
+        assignment = assign_contacts_greedy(tiny_instance, zones)
+        targets = zones.targets_of_clients(tiny_instance)
+        np.testing.assert_array_equal(assignment.contact_of_client[:6], targets[:6])
+
+    def test_respects_residual_capacity(self):
+        # Give server 1 no headroom for forwarding: capacity exactly its zone load.
+        instance = make_tiny_instance(capacities=(1000.0, 20.0, 1000.0))
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]))
+        assignment = assign_contacts_greedy(instance, zones)
+        # Server 1 cannot take the extra 2×10 per client, so clients 6, 7 cannot
+        # be forwarded through it.
+        assert (assignment.contact_of_client[6] != 1) or assignment.is_capacity_feasible(
+            instance
+        )
+        assert assignment.is_capacity_feasible(instance)
+
+    def test_falls_back_to_target_when_nothing_fits(self):
+        instance = make_tiny_instance(capacities=(1000.0, 20.0, 20.0))
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]))
+        assignment = assign_contacts_greedy(instance, zones)
+        # No server has room: the two needy clients stay on their target server.
+        np.testing.assert_array_equal(assignment.contact_of_client[6:], [0, 0])
+
+    def test_never_reduces_pqos_vs_virc(self, small_instance):
+        zones = assign_zones_greedy(small_instance)
+        virc = assign_contacts_virtual(small_instance, zones)
+        grec = assign_contacts_greedy(small_instance, zones)
+        assert grec.pqos(small_instance) >= virc.pqos(small_instance) - 1e-12
+
+    def test_zone_count_mismatch_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            assign_contacts_greedy(tiny_instance, ZoneAssignment(zone_to_server=np.array([0])))
+
+    def test_dynamic_variant_name(self, tiny_instance):
+        zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]), algorithm="grez")
+        result = assign_contacts_greedy(tiny_instance, zones, recompute_regret=True)
+        assert result.algorithm == "grez-grec-dynamic"

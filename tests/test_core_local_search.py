@@ -1,0 +1,73 @@
+"""Tests for repro.core.local_search — hill-climbing refinement of assignments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.local_search import LocalSearchResult, refine_assignment
+from repro.core.two_phase import solve_cap
+from repro.core.validation import validate_assignment
+
+
+def _bad_assignment(instance) -> Assignment:
+    """A deliberately poor but feasible assignment: everything on server 2."""
+    zone_to_server = np.full(instance.num_zones, 2, dtype=np.int64)
+    contacts = np.full(instance.num_clients, 2, dtype=np.int64)
+    return Assignment(zone_to_server=zone_to_server, contact_of_client=contacts, algorithm="bad")
+
+
+class TestRefineAssignment:
+    def test_improves_bad_starting_point(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        result = refine_assignment(tiny_instance, start)
+        assert isinstance(result, LocalSearchResult)
+        assert result.final_pqos > result.initial_pqos
+        assert result.iterations > 0
+        assert result.assignment.pqos(tiny_instance) == pytest.approx(result.final_pqos)
+        assert validate_assignment(tiny_instance, result.assignment).ok
+
+    def test_never_worsens(self, small_instance):
+        start = solve_cap(small_instance, "grez-grec", seed=0)
+        result = refine_assignment(small_instance, start, max_iterations=20)
+        assert result.final_pqos >= result.initial_pqos - 1e-12
+        assert validate_assignment(small_instance, result.assignment).ok
+
+    def test_respects_capacities_throughout(self, tight_instance):
+        start = solve_cap(tight_instance, "ranz-virc", seed=1)
+        result = refine_assignment(tight_instance, start)
+        assert result.assignment.is_capacity_feasible(tight_instance)
+
+    def test_iteration_budget_honoured(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        result = refine_assignment(tiny_instance, start, max_iterations=1)
+        assert result.iterations <= 1
+
+    def test_neighbourhood_restriction(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        zone_only = refine_assignment(
+            tiny_instance, start, consider_contact_moves=False
+        )
+        contact_only = refine_assignment(
+            tiny_instance, start, consider_zone_moves=False
+        )
+        both = refine_assignment(tiny_instance, start)
+        assert both.final_pqos >= max(zone_only.final_pqos, contact_only.final_pqos) - 1e-12
+        # Zone moves alone can already fix the bad placement of zones 0-2.
+        assert zone_only.final_pqos > start.pqos(tiny_instance)
+
+    def test_algorithm_name_and_metadata(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        result = refine_assignment(tiny_instance, start)
+        assert result.assignment.algorithm == "bad+ls"
+        assert result.assignment.metadata["local_search_iterations"] == result.iterations
+
+    def test_fixed_point_on_already_optimal_tiny_instance(self, tiny_instance):
+        start = solve_cap(tiny_instance, "grez-grec", seed=0)
+        assert start.pqos(tiny_instance) == pytest.approx(1.0)
+        result = refine_assignment(tiny_instance, start)
+        assert result.iterations == 0
+        np.testing.assert_array_equal(
+            result.assignment.contact_of_client, start.contact_of_client
+        )

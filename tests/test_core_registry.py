@@ -1,0 +1,72 @@
+"""Tests for repro.core.registry — the named solver registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.baselines  # noqa: F401  (ensures the baseline solvers are registered)
+from repro.core.registry import (
+    ensure_registered,
+    get_solver,
+    register_solver,
+    solve,
+    solver_names,
+)
+from repro.core.validation import validate_assignment
+
+
+class TestRegistryContents:
+    def test_paper_algorithms_registered(self):
+        names = solver_names()
+        for expected in ("ranz-virc", "ranz-grec", "grez-virc", "grez-grec", "optimal"):
+            assert expected in names
+
+    def test_baselines_registered(self):
+        names = solver_names()
+        assert "load-balance" in names
+        assert "nearest-server" in names
+
+    def test_names_sorted(self):
+        assert solver_names() == sorted(solver_names())
+
+
+class TestLookupAndSolve:
+    def test_get_solver_case_insensitive(self):
+        assert get_solver("GREZ-GREC") is get_solver("grez-grec")
+
+    def test_unknown_solver(self):
+        with pytest.raises(KeyError):
+            get_solver("quantum-annealer")
+
+    def test_solve_by_name(self, small_instance):
+        assignment = solve(small_instance, "grez-grec", seed=0)
+        assert assignment.algorithm == "grez-grec"
+        assert validate_assignment(small_instance, assignment).ok
+
+    def test_solve_baseline_by_name(self, small_instance):
+        assignment = solve(small_instance, "load-balance", seed=0)
+        assert assignment.algorithm == "load-balance"
+
+    def test_ensure_registered(self):
+        ensure_registered(["grez-grec", "optimal"])
+        with pytest.raises(KeyError):
+            ensure_registered(["grez-grec", "missing-solver"])
+
+
+class TestRegistration:
+    def test_register_and_overwrite_semantics(self, tiny_instance):
+        def fake_solver(instance, seed=None):
+            return solve(instance, "grez-virc", seed=seed).with_algorithm("fake")
+
+        register_solver("test-fake-solver", fake_solver, overwrite=True)
+        try:
+            assert "test-fake-solver" in solver_names()
+            result = solve(tiny_instance, "test-fake-solver")
+            assert result.algorithm == "fake"
+            with pytest.raises(KeyError):
+                register_solver("test-fake-solver", fake_solver)  # no overwrite
+        finally:
+            # Clean up so other tests see the standard registry.
+            from repro.core import registry as registry_module
+
+            registry_module._REGISTRY.pop("test-fake-solver", None)

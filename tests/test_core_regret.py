@@ -1,0 +1,127 @@
+"""Tests for repro.core.regret — the shared max-regret greedy machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regret import max_regret_assign, regret_order
+
+
+class TestRegretOrder:
+    def test_highest_regret_first(self):
+        # Item 0: best 10, second 9 → regret 1.  Item 1: best 10, second 2 → regret 8.
+        desirability = np.array([[10.0, 10.0], [9.0, 2.0]])
+        order = regret_order(desirability)
+        np.testing.assert_array_equal(order, [1, 0])
+
+    def test_ties_keep_input_order(self):
+        desirability = np.array([[5.0, 5.0, 5.0], [1.0, 1.0, 1.0]])
+        np.testing.assert_array_equal(regret_order(desirability), [0, 1, 2])
+
+    def test_single_server_degenerates_to_input_order(self):
+        desirability = np.array([[3.0, 9.0, 1.0]])
+        np.testing.assert_array_equal(regret_order(desirability), [0, 1, 2])
+
+    def test_empty_items(self):
+        assert regret_order(np.zeros((3, 0))).size == 0
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            regret_order(np.zeros(4))
+
+
+class TestMaxRegretAssign:
+    def test_prefers_most_desirable_server(self):
+        desirability = np.array([[0.0, -5.0], [-3.0, 0.0]])
+        result = max_regret_assign(
+            desirability, demands=np.ones(2), capacities=np.full(2, 10.0)
+        )
+        np.testing.assert_array_equal(result.item_to_server, [0, 1])
+        assert not result.capacity_exceeded
+
+    def test_capacity_forces_second_choice(self):
+        # Both items prefer server 0, but it can hold only one of them.
+        desirability = np.array([[0.0, 0.0], [-1.0, -1.0]])
+        result = max_regret_assign(
+            desirability, demands=np.array([6.0, 6.0]), capacities=np.array([10.0, 10.0])
+        )
+        assert sorted(result.item_to_server.tolist()) == [0, 1]
+        assert not result.capacity_exceeded
+
+    def test_least_loaded_fallback_flags_overload(self):
+        desirability = np.array([[0.0], [-1.0]])
+        result = max_regret_assign(
+            desirability, demands=np.array([50.0]), capacities=np.array([10.0, 20.0])
+        )
+        assert result.capacity_exceeded
+        # Falls back to the server with the most residual capacity.
+        assert result.item_to_server[0] == 1
+
+    def test_skip_fallback_leaves_unassigned(self):
+        desirability = np.array([[0.0], [-1.0]])
+        result = max_regret_assign(
+            desirability,
+            demands=np.array([50.0]),
+            capacities=np.array([10.0, 20.0]),
+            fallback="skip",
+        )
+        assert result.item_to_server[0] == -1
+        assert not result.capacity_exceeded
+
+    def test_initial_loads_respected(self):
+        desirability = np.array([[0.0], [-1.0]])
+        result = max_regret_assign(
+            desirability,
+            demands=np.array([5.0]),
+            capacities=np.array([10.0, 10.0]),
+            initial_loads=np.array([8.0, 0.0]),
+        )
+        assert result.item_to_server[0] == 1
+
+    def test_loads_returned(self):
+        desirability = np.array([[0.0, 0.0], [-1.0, -1.0]])
+        result = max_regret_assign(
+            desirability, demands=np.array([2.0, 3.0]), capacities=np.array([10.0, 10.0])
+        )
+        assert result.loads.sum() == pytest.approx(5.0)
+
+    def test_recompute_matches_static_on_easy_instance(self):
+        rng = np.random.default_rng(0)
+        desirability = -rng.random((3, 6))
+        demands = np.ones(6)
+        capacities = np.full(3, 100.0)
+        static = max_regret_assign(desirability, demands, capacities, recompute=False)
+        dynamic = max_regret_assign(desirability, demands, capacities, recompute=True)
+        # With ample capacity both variants give every item its best server.
+        np.testing.assert_array_equal(static.item_to_server, dynamic.item_to_server)
+
+    def test_all_items_assigned_with_ample_capacity(self):
+        rng = np.random.default_rng(1)
+        desirability = -rng.random((4, 20))
+        result = max_regret_assign(
+            desirability, demands=np.ones(20), capacities=np.full(4, 100.0)
+        )
+        assert (result.item_to_server >= 0).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros(3), np.ones(3), np.ones(2))
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros((2, 3)), np.ones(2), np.ones(2))
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros((2, 3)), np.ones(3), np.ones(3))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros((2, 1)), np.array([-1.0]), np.ones(2))
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros((2, 1)), np.ones(1), np.ones(2), fallback="explode")
+
+    def test_bad_initial_loads_shape(self):
+        with pytest.raises(ValueError):
+            max_regret_assign(
+                np.zeros((2, 1)), np.ones(1), np.ones(2), initial_loads=np.ones(3)
+            )

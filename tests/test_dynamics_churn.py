@@ -1,0 +1,71 @@
+"""Tests for repro.dynamics.churn — random churn generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.churn import ChurnSpec, generate_churn
+from repro.dynamics.events import apply_churn
+
+
+class TestChurnSpec:
+    def test_paper_defaults(self):
+        spec = ChurnSpec()
+        assert (spec.num_joins, spec.num_leaves, spec.num_moves) == (200, 200, 200)
+        assert spec.adjacent_moves is False
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(num_joins=-1)
+
+
+class TestGenerateChurn:
+    def test_counts_match_spec(self, small_scenario):
+        spec = ChurnSpec(num_joins=20, num_leaves=15, num_moves=10)
+        batch = generate_churn(small_scenario, spec, seed=0)
+        assert batch.num_joins == 20
+        assert batch.num_leaves == 15
+        assert batch.num_moves == 10
+
+    def test_movers_and_leavers_disjoint(self, small_scenario):
+        batch = generate_churn(small_scenario, ChurnSpec(50, 50, 50), seed=1)
+        assert np.intersect1d(batch.leave_indices, batch.move_indices).size == 0
+
+    def test_moves_go_to_different_zone(self, small_scenario):
+        batch = generate_churn(small_scenario, ChurnSpec(0, 0, 40), seed=2)
+        current = small_scenario.population.zones[batch.move_indices]
+        assert (batch.move_zones != current).all()
+
+    def test_adjacent_moves_stay_in_neighbourhood(self, small_scenario):
+        batch = generate_churn(
+            small_scenario, ChurnSpec(0, 0, 30, adjacent_moves=True), seed=3
+        )
+        world = small_scenario.world
+        for client, new_zone in zip(batch.move_indices, batch.move_zones):
+            origin = int(small_scenario.population.zones[client])
+            assert int(new_zone) in world.neighbors(origin)
+
+    def test_joins_within_world_bounds(self, small_scenario):
+        batch = generate_churn(small_scenario, ChurnSpec(100, 0, 0), seed=4)
+        assert batch.join_zones.max() < small_scenario.num_zones
+        assert batch.join_nodes.max() < small_scenario.topology.num_nodes
+
+    def test_oversized_churn_clamped_to_population(self, small_scenario):
+        n = small_scenario.num_clients
+        batch = generate_churn(small_scenario, ChurnSpec(0, n + 500, n + 500), seed=5)
+        assert batch.num_leaves == n
+        assert batch.num_moves == 0  # nothing left to move after everyone leaves
+
+    def test_deterministic(self, small_scenario):
+        a = generate_churn(small_scenario, ChurnSpec(10, 10, 10), seed=9)
+        b = generate_churn(small_scenario, ChurnSpec(10, 10, 10), seed=9)
+        np.testing.assert_array_equal(a.leave_indices, b.leave_indices)
+        np.testing.assert_array_equal(a.join_zones, b.join_zones)
+        np.testing.assert_array_equal(a.move_zones, b.move_zones)
+
+    def test_generated_batch_applies_cleanly(self, small_scenario):
+        spec = ChurnSpec(num_joins=30, num_leaves=20, num_moves=25)
+        batch = generate_churn(small_scenario, spec, seed=6)
+        result = apply_churn(small_scenario.population, batch)
+        assert result.population.num_clients == small_scenario.num_clients + 30 - 20

@@ -1,0 +1,125 @@
+"""Tests for repro.dynamics.controller — the rebalancing trigger policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics.churn import ChurnSpec
+from repro.dynamics.controller import (
+    RebalanceController,
+    RebalancePolicy,
+    RebalanceTrace,
+)
+
+CHURN = ChurnSpec(num_joins=30, num_leaves=30, num_moves=30)
+
+
+class TestRebalancePolicy:
+    def test_defaults(self):
+        policy = RebalancePolicy()
+        assert policy.target_pqos == 0.9
+        assert policy.full_rebalance_every == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RebalancePolicy(target_pqos=0.0)
+        with pytest.raises(ValueError):
+            RebalancePolicy(target_pqos=1.5)
+        with pytest.raises(ValueError):
+            RebalancePolicy(repair_slack=-0.1)
+        with pytest.raises(ValueError):
+            RebalancePolicy(full_rebalance_every=-1)
+
+
+class TestRebalanceController:
+    def test_trace_structure(self, small_scenario):
+        controller = RebalanceController(
+            scenario=small_scenario,
+            algorithm="grez-grec",
+            policy=RebalancePolicy(target_pqos=0.9),
+            churn_spec=CHURN,
+            seed=0,
+        )
+        trace = controller.run(num_epochs=3)
+        assert isinstance(trace, RebalanceTrace)
+        assert len(trace.steps) == 3
+        assert [s.epoch for s in trace.steps] == [0, 1, 2]
+        for step in trace.steps:
+            assert step.action in ("none", "repair", "rebalance")
+            assert 0.0 <= step.pqos_stale <= 1.0
+            assert 0.0 <= step.pqos_final <= 1.0
+            # The controller never makes things worse than doing nothing.
+            assert step.pqos_final >= step.pqos_stale - 1e-9
+        assert trace.num_rebalances + trace.num_repairs <= 3
+        assert len(trace.pqos_series()) == 3
+        assert 0.0 <= trace.mean_pqos <= 1.0
+
+    def test_lazy_policy_never_rebalances(self, small_scenario):
+        """A target of 0+ means the stale assignment is always good enough."""
+        controller = RebalanceController(
+            scenario=small_scenario,
+            policy=RebalancePolicy(target_pqos=0.01),
+            churn_spec=CHURN,
+            seed=1,
+        )
+        trace = controller.run(num_epochs=3)
+        assert trace.num_rebalances == 0
+        assert trace.num_repairs == 0
+        assert all(s.action == "none" for s in trace.steps)
+
+    def test_eager_policy_always_rebalances(self, small_scenario):
+        """An unreachable target forces a full re-execution every epoch."""
+        controller = RebalanceController(
+            scenario=small_scenario,
+            policy=RebalancePolicy(target_pqos=1.0, repair_slack=0.0),
+            churn_spec=CHURN,
+            seed=1,
+        )
+        trace = controller.run(num_epochs=2)
+        assert trace.num_rebalances == 2
+
+    def test_periodic_trigger(self, small_scenario):
+        controller = RebalanceController(
+            scenario=small_scenario,
+            policy=RebalancePolicy(target_pqos=0.01, full_rebalance_every=2),
+            churn_spec=CHURN,
+            seed=2,
+        )
+        trace = controller.run(num_epochs=4)
+        # Epochs 1 and 3 (0-based) are periodic rebalances; the rest are "none".
+        actions = [s.action for s in trace.steps]
+        assert actions[1] == "rebalance" and actions[3] == "rebalance"
+        assert actions[0] == "none" and actions[2] == "none"
+
+    def test_tighter_policy_gives_no_worse_interactivity(self, small_scenario):
+        lazy = RebalanceController(
+            scenario=small_scenario,
+            policy=RebalancePolicy(target_pqos=0.5),
+            churn_spec=CHURN,
+            seed=3,
+        ).run(num_epochs=3)
+        eager = RebalanceController(
+            scenario=small_scenario,
+            policy=RebalancePolicy(target_pqos=0.99, repair_slack=0.0),
+            churn_spec=CHURN,
+            seed=3,
+        ).run(num_epochs=3)
+        assert eager.mean_pqos >= lazy.mean_pqos - 1e-9
+        assert eager.num_rebalances >= lazy.num_rebalances
+
+    def test_invalid_epochs(self, small_scenario):
+        with pytest.raises(ValueError):
+            RebalanceController(scenario=small_scenario).run(num_epochs=0)
+
+    def test_deterministic(self, small_scenario):
+        def run_once():
+            return RebalanceController(
+                scenario=small_scenario,
+                policy=RebalancePolicy(target_pqos=0.95),
+                churn_spec=CHURN,
+                seed=9,
+            ).run(num_epochs=2)
+
+        a, b = run_once(), run_once()
+        assert a.pqos_series() == b.pqos_series()
+        assert [s.action for s in a.steps] == [s.action for s in b.steps]

@@ -1,0 +1,108 @@
+"""Tests for repro.dynamics.events — churn batches and their application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.events import ChurnBatch, apply_churn
+from repro.world.clients import ClientPopulation
+
+
+@pytest.fixture()
+def population():
+    return ClientPopulation(
+        nodes=np.array([10, 11, 12, 13, 14, 15]),
+        zones=np.array([0, 0, 1, 1, 2, 2]),
+    )
+
+
+class TestChurnBatch:
+    def test_counts(self):
+        batch = ChurnBatch(
+            join_nodes=np.array([1, 2]),
+            join_zones=np.array([0, 1]),
+            leave_indices=np.array([3]),
+            move_indices=np.array([0, 1]),
+            move_zones=np.array([2, 2]),
+        )
+        assert batch.num_joins == 2
+        assert batch.num_leaves == 1
+        assert batch.num_moves == 2
+        assert "2 joins" in batch.summary()
+
+    def test_empty_batch_defaults(self):
+        batch = ChurnBatch()
+        assert batch.num_joins == batch.num_leaves == batch.num_moves == 0
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ValueError):
+            ChurnBatch(join_nodes=np.array([1, 2]), join_zones=np.array([0]))
+        with pytest.raises(ValueError):
+            ChurnBatch(move_indices=np.array([1]), move_zones=np.array([0, 1]))
+
+    def test_leave_and_move_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnBatch(
+                leave_indices=np.array([2, 3]),
+                move_indices=np.array([3]),
+                move_zones=np.array([0]),
+            )
+
+
+class TestApplyChurn:
+    def test_joins_appended_at_end(self, population):
+        batch = ChurnBatch(join_nodes=np.array([99, 98]), join_zones=np.array([2, 0]))
+        result = apply_churn(population, batch)
+        assert result.population.num_clients == 8
+        np.testing.assert_array_equal(result.population.nodes[-2:], [99, 98])
+        np.testing.assert_array_equal(result.new_client_indices, [6, 7])
+        np.testing.assert_array_equal(result.old_to_new, np.arange(6))
+
+    def test_leaves_remove_and_remap(self, population):
+        batch = ChurnBatch(leave_indices=np.array([1, 4]))
+        result = apply_churn(population, batch)
+        assert result.population.num_clients == 4
+        np.testing.assert_array_equal(result.population.nodes, [10, 12, 13, 15])
+        np.testing.assert_array_equal(result.old_to_new, [0, -1, 1, 2, -1, 3])
+        assert result.new_client_indices.size == 0
+
+    def test_moves_change_zone_before_leaving(self, population):
+        batch = ChurnBatch(
+            move_indices=np.array([0]),
+            move_zones=np.array([2]),
+            leave_indices=np.array([5]),
+        )
+        result = apply_churn(population, batch)
+        assert result.population.zones[0] == 2
+        assert result.population.num_clients == 5
+
+    def test_combined_join_leave_move(self, population):
+        batch = ChurnBatch(
+            join_nodes=np.array([50]),
+            join_zones=np.array([1]),
+            leave_indices=np.array([0]),
+            move_indices=np.array([5]),
+            move_zones=np.array([0]),
+        )
+        result = apply_churn(population, batch)
+        assert result.population.num_clients == 6
+        # Mover (old index 5) survives at new index 4 with its new zone.
+        assert result.old_to_new[5] == 4
+        assert result.population.zones[4] == 0
+        # Joined client sits last.
+        np.testing.assert_array_equal(result.new_client_indices, [5])
+
+    def test_out_of_range_indices_rejected(self, population):
+        with pytest.raises(ValueError):
+            apply_churn(population, ChurnBatch(leave_indices=np.array([100])))
+        with pytest.raises(ValueError):
+            apply_churn(
+                population,
+                ChurnBatch(move_indices=np.array([100]), move_zones=np.array([0])),
+            )
+
+    def test_original_population_untouched(self, population):
+        batch = ChurnBatch(leave_indices=np.array([0, 1, 2]))
+        apply_churn(population, batch)
+        assert population.num_clients == 6

@@ -1,0 +1,209 @@
+"""Tests for the per-table / per-figure experiment drivers (small, fast runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.baselines  # noqa: F401
+from repro.dynamics.churn import ChurnSpec
+from repro.experiments.ablation import format_ablation, run_ablation
+from repro.experiments.baselines_compare import (
+    format_baseline_comparison,
+    run_baseline_comparison,
+    run_centralization_comparison,
+)
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.runtime import format_runtime, run_runtime
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+
+SMALL_LABEL = "5s-15z-200c-100cp"
+ALGOS = ["ranz-virc", "grez-grec"]
+
+
+class TestTable1Driver:
+    def test_small_run_structure(self):
+        result = run_table1(
+            labels=[SMALL_LABEL],
+            algorithms=ALGOS,
+            num_runs=2,
+            seed=0,
+            include_optimal=True,
+            optimal_labels=[SMALL_LABEL],
+        )
+        assert list(result.results) == [SMALL_LABEL]
+        assert result.optimal_labels == [SMALL_LABEL]
+        summaries = result.results[SMALL_LABEL].summaries
+        assert set(summaries) == {"ranz-virc", "grez-grec", "optimal"}
+        # Headline ordering of the paper on this configuration.
+        assert summaries["grez-grec"].pqos.mean >= summaries["ranz-virc"].pqos.mean
+        assert summaries["optimal"].pqos.mean >= summaries["grez-grec"].pqos.mean - 0.02
+
+    def test_rows_and_formatting(self):
+        result = run_table1(
+            labels=[SMALL_LABEL], algorithms=ALGOS, num_runs=1, seed=0, include_optimal=False
+        )
+        rows = result.rows()
+        assert len(rows) == 1 and rows[0][0] == SMALL_LABEL
+        text = format_table1(result)
+        assert "Table 1 (measured)" in text
+        assert "Table 1 (paper)" in text
+        assert SMALL_LABEL in text
+
+    def test_optimal_skipped_for_excluded_labels(self):
+        result = run_table1(
+            labels=[SMALL_LABEL], algorithms=ALGOS, num_runs=1, seed=0, optimal_labels=[]
+        )
+        assert "optimal" not in result.results[SMALL_LABEL].summaries
+
+
+class TestFigure4Driver:
+    def test_cdfs_on_custom_grid(self):
+        grid = np.linspace(250, 500, 6)
+        result = run_figure4(
+            label=SMALL_LABEL, algorithms=ALGOS, num_runs=1, seed=0, grid=grid
+        )
+        assert set(result.cdfs) == set(ALGOS)
+        for cdf in result.cdfs.values():
+            np.testing.assert_allclose(cdf.grid, grid)
+            assert (np.diff(cdf.values) >= -1e-12).all()
+        rows = result.rows()
+        assert len(rows) == 6
+        text = format_figure4(result)
+        assert "Figure 4" in text and "pQoS" in text
+
+    def test_better_algorithm_dominates_cdf(self):
+        result = run_figure4(label=SMALL_LABEL, num_runs=2, seed=0)
+        grez = result.cdfs["grez-grec"]
+        ranz = result.cdfs["ranz-virc"]
+        # GreZ-GreC's delay CDF should dominate RanZ-VirC's at the delay bound.
+        assert grez.at(250.0) >= ranz.at(250.0)
+
+
+class TestFigure5Driver:
+    def test_correlation_sweep(self):
+        result = run_figure5(
+            label=SMALL_LABEL, correlations=[0.0, 1.0], algorithms=ALGOS, num_runs=2, seed=0
+        )
+        assert result.correlations == [0.0, 1.0]
+        series = result.pqos_series("grez-grec")
+        assert len(series) == 2
+        # Delay-aware initial assignment benefits from correlation (Fig. 5a shape).
+        assert series[1] >= series[0] - 0.05
+        rows = result.rows("pqos")
+        assert len(rows) == 2 and len(rows[0]) == 1 + len(ALGOS)
+        with pytest.raises(ValueError):
+            result.rows("latency")
+        assert "Figure 5(a)" in format_figure5(result)
+
+
+class TestFigure6Driver:
+    def test_distribution_type_sweep(self):
+        result = run_figure6(
+            label=SMALL_LABEL, types=[0, 3], algorithms=ALGOS, num_runs=1, seed=0
+        )
+        assert result.types == [0, 3]
+        rows = result.rows("utilization")
+        assert len(rows) == 2
+        # Virtual-world clustering (type 3) raises utilisation vs type 0 (Fig. 6b shape).
+        util_type0 = result.utilization_series("grez-grec")[0]
+        util_type3 = result.utilization_series("grez-grec")[1]
+        assert util_type3 >= util_type0 - 0.05
+        assert "Figure 6" in format_figure6(result)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure6(label=SMALL_LABEL, types=[9], num_runs=1)
+
+
+class TestTable3Driver:
+    def test_churn_experiment(self):
+        result = run_table3(
+            label=SMALL_LABEL,
+            algorithms=ALGOS,
+            num_runs=2,
+            seed=0,
+            churn=ChurnSpec(num_joins=40, num_leaves=40, num_moves=40),
+        )
+        assert result.algorithms == ALGOS
+        for name in ALGOS:
+            assert 0.0 <= result.before[name].mean <= 1.0
+            assert 0.0 <= result.after[name].mean <= 1.0
+            assert 0.0 <= result.executed[name].mean <= 1.0
+        # Re-execution should not be worse than the stale assignment (Table 3 shape).
+        assert result.executed["grez-grec"].mean >= result.after["grez-grec"].mean - 0.02
+        rows = result.rows()
+        assert len(rows) == len(ALGOS)
+        text = format_table3(result)
+        assert "Table 3 (measured)" in text and "Table 3 (paper)" in text
+
+
+class TestTable4Driver:
+    def test_error_factor_sweep(self):
+        result = run_table4(
+            label=SMALL_LABEL, error_factors=[1.2, 2.0], algorithms=ALGOS, num_runs=2, seed=0
+        )
+        assert result.error_factors == [1.2, 2.0]
+        for factor in (1.2, 2.0):
+            summaries = result.results[factor].summaries
+            assert set(summaries) == set(ALGOS)
+        # Larger estimation error cannot help the delay-aware heuristic.
+        assert (
+            result.results[2.0].pqos("grez-grec")
+            <= result.results[1.2].pqos("grez-grec") + 0.05
+        )
+        rows = result.rows()
+        assert len(rows) == len(ALGOS) and len(rows[0]) == 3
+        text = format_table4(result)
+        assert "Table 4 (measured)" in text and "e=1.2" in text
+
+
+class TestExtensionDrivers:
+    def test_ablation(self):
+        result = run_ablation(
+            label=SMALL_LABEL, variants=["grez-grec", "grez-grec-dynamic"], num_runs=1, seed=0
+        )
+        rows = result.rows()
+        assert len(rows) == 2
+        assert "Ablation" in format_ablation(result)
+
+    def test_baseline_comparison(self):
+        result = run_baseline_comparison(
+            labels=[SMALL_LABEL], solvers=["grez-grec", "load-balance"], num_runs=1, seed=0
+        )
+        rows = result.rows()
+        assert len(rows) == 1
+        # grez-grec column >= load-balance column.
+        assert rows[0][1] >= rows[0][2] - 0.05
+        assert "Baseline comparison" in format_baseline_comparison(result)
+
+    def test_centralization_comparison(self):
+        result = run_centralization_comparison(label=SMALL_LABEL, num_runs=2, seed=0)
+        assert 0.0 <= result.centralized_pqos.mean <= 1.0
+        assert result.distributed_pqos.mean >= result.centralized_pqos.mean - 0.1
+        text = format_baseline_comparison(
+            run_baseline_comparison(labels=[SMALL_LABEL], solvers=["grez-grec"], num_runs=1),
+            result,
+        )
+        assert "centralised" in text
+
+    def test_runtime(self):
+        result = run_runtime(
+            labels=[SMALL_LABEL],
+            solvers=["grez-grec", "ranz-virc"],
+            num_runs=1,
+            seed=0,
+            optimal_labels=[SMALL_LABEL],
+            optimal_time_limit=30.0,
+        )
+        assert result.labels == [SMALL_LABEL]
+        assert "optimal" in result.solvers
+        runtimes = result.runtimes[SMALL_LABEL]
+        assert all(v >= 0 for v in runtimes.values())
+        # Heuristics are much faster than the exact MILP (paper Section 4.2).
+        assert runtimes["grez-grec"] <= runtimes["optimal"]
+        assert "Runtime" in format_runtime(result)

@@ -1,0 +1,101 @@
+"""Tests for repro.io.serialization — JSON round-trips of assignments and configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.io.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    config_from_dict,
+    config_to_dict,
+    dump_json,
+    load_json,
+    to_jsonable,
+)
+from repro.topology.brite import BriteConfig
+from repro.world.scenario import DVEConfig
+
+
+def _sample_assignment() -> Assignment:
+    return Assignment(
+        zone_to_server=np.array([0, 1, 1, 2]),
+        contact_of_client=np.array([0, 1, 2, 2, 0]),
+        algorithm="grez-grec",
+        capacity_exceeded=False,
+        runtime_seconds=0.01,
+        metadata={"note": "test"},
+    )
+
+
+class TestToJsonable:
+    def test_scalars_passthrough(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert to_jsonable(np.float64(0.5)) == 0.5
+
+    def test_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_dataclass(self):
+        config = DVEConfig(num_servers=3, num_zones=6, num_clients=10, total_capacity_mbps=50)
+        data = to_jsonable(config)
+        assert data["num_servers"] == 3
+        assert data["topology"]["model"] == "hierarchical"
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip_preserves_arrays(self):
+        original = _sample_assignment()
+        restored = assignment_from_dict(assignment_to_dict(original))
+        np.testing.assert_array_equal(restored.zone_to_server, original.zone_to_server)
+        np.testing.assert_array_equal(restored.contact_of_client, original.contact_of_client)
+        assert restored.algorithm == original.algorithm
+        assert restored.metadata == {"note": "test"}
+
+    def test_missing_optional_fields_default(self):
+        restored = assignment_from_dict(
+            {"zone_to_server": [0, 1], "contact_of_client": [0, 1, 1]}
+        )
+        assert restored.algorithm == "unknown"
+        assert restored.capacity_exceeded is False
+
+
+class TestConfigRoundTrip:
+    def test_round_trip(self):
+        config = DVEConfig(
+            num_servers=4,
+            num_zones=8,
+            num_clients=20,
+            total_capacity_mbps=80,
+            correlation=0.25,
+            topology=BriteConfig(model="waxman", num_nodes=30),
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_default_config_round_trip(self):
+        config = DVEConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestJsonFiles:
+    def test_dump_and_load(self, tmp_path):
+        payload = {"values": np.array([1.5, 2.5]), "name": "x"}
+        path = dump_json(payload, tmp_path / "data.json")
+        loaded = load_json(path)
+        assert loaded == {"values": [1.5, 2.5], "name": "x"}
+
+    def test_dump_creates_directories(self, tmp_path):
+        path = dump_json({"a": 1}, tmp_path / "sub" / "dir" / "x.json")
+        assert path.exists()

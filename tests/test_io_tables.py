@@ -1,0 +1,65 @@
+"""Tests for repro.io.tables — plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "1" in text and "4" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_float_format_applied(self):
+        text = format_table(["v"], [[0.123456]], float_format=".2f")
+        assert "0.12" in text
+        assert "0.1234" not in text
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [["long-algorithm-name", 1], ["x", 2]])
+        lines = [l for l in text.splitlines() if l and not set(l) <= {"-", " "}]
+        # header and both rows: the second column starts at the same offset.
+        offsets = {line.rstrip().rfind(" ") for line in lines}
+        assert len(lines) == 3
+        assert all(o > 0 for o in offsets)
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        text = format_table(["k", "v"], [["pqos", 0.9], ["count", 10], ["flag", True]])
+        assert "pqos" in text and "True" in text
+
+    def test_no_trailing_newline(self):
+        assert not format_table(["a"], [[1]]).endswith("\n")
+
+
+class TestFormatKV:
+    def test_all_pairs_present(self):
+        text = format_kv({"alpha": 1, "beta": 2.5})
+        assert "alpha" in text and "beta" in text
+        assert "2.500" in text
+
+    def test_title(self):
+        text = format_kv({"x": 1}, title="Config")
+        assert text.splitlines()[0] == "Config"
+
+    def test_alignment(self):
+        text = format_kv({"a": 1, "longer_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_dict(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,59 @@
+"""Package-level tests: top-level exports, version, and the documented quickstart."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackages_importable(self):
+        for sub in (
+            "core",
+            "topology",
+            "world",
+            "dynamics",
+            "measurement",
+            "metrics",
+            "baselines",
+            "experiments",
+            "io",
+            "utils",
+            "cli",
+        ):
+            importlib.import_module(f"repro.{sub}")
+
+    def test_readme_quickstart_flow(self):
+        """The flow shown in README / the package docstring works end to end."""
+        from repro import CAPInstance, DVEConfig, build_scenario, solve_cap
+
+        scenario = build_scenario(
+            DVEConfig(num_servers=5, num_zones=15, num_clients=200, total_capacity_mbps=100),
+            seed=42,
+        )
+        instance = CAPInstance.from_scenario(scenario)
+        assignment = solve_cap(instance, "grez-grec", seed=0)
+        assert 0.0 <= assignment.pqos(instance) <= 1.0
+        assert assignment.is_capacity_feasible(instance)
+
+    def test_metrics_exports_work(self, small_instance):
+        from repro import pqos, qos_report, resource_report, resource_utilization, solve_cap
+
+        assignment = solve_cap(small_instance, "grez-virc", seed=0)
+        assert pqos(small_instance, assignment) == pytest.approx(
+            qos_report(small_instance, assignment).pqos
+        )
+        assert resource_utilization(small_instance, assignment) == pytest.approx(
+            resource_report(small_instance, assignment).utilization
+        )

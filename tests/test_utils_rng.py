@@ -1,0 +1,136 @@
+"""Tests for repro.utils.rng — deterministic RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    derive_seed,
+    hash_label,
+    random_subset,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(123).integers(0, 1_000_000, size=10)
+        b = as_generator(123).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=20)
+        b = as_generator(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        gen = as_generator(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        assert a == b
+
+    def test_streams_are_independent(self):
+        g1, g2 = spawn_generators(7, 2)
+        x = g1.integers(0, 10**9, size=50)
+        y = g2.integers(0, 10**9, size=50)
+        assert not np.array_equal(x, y)
+
+    def test_zero_generators(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(11)
+        gens = spawn_generators(rng, 2)
+        assert len(gens) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(3), 2)
+        assert len(gens) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "topology") == derive_seed(5, "topology")
+
+    def test_labels_distinguish(self):
+        assert derive_seed(5, "topology") != derive_seed(5, "placement")
+
+    def test_base_seed_distinguishes(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_int_labels_accepted(self):
+        assert isinstance(derive_seed(0, 3, 4), int)
+
+    def test_none_seed_accepted(self):
+        assert isinstance(derive_seed(None, "a"), int)
+
+
+class TestHashLabel:
+    def test_stable_known_value(self):
+        # FNV-1a is process independent; the same string always hashes equal.
+        assert hash_label("topology") == hash_label("topology")
+
+    def test_distinct_labels(self):
+        assert hash_label("a") != hash_label("b")
+
+    def test_32_bit_range(self):
+        assert 0 <= hash_label("anything at all") < 2**32
+
+
+class TestRandomSubset:
+    def test_without_replacement_unique(self):
+        rng = np.random.default_rng(0)
+        picked = random_subset(rng, list(range(20)), 10)
+        assert len(picked) == 10
+        assert len(set(picked.tolist())) == 10
+
+    def test_too_large_without_replacement(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_subset(rng, [1, 2, 3], 5)
+
+    def test_with_replacement_allows_oversampling(self):
+        rng = np.random.default_rng(0)
+        picked = random_subset(rng, [1, 2, 3], 10, replace=True)
+        assert len(picked) == 10
+
+    def test_negative_size_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_subset(rng, [1, 2, 3], -1)

@@ -1,0 +1,78 @@
+"""Tests for repro.world.servers — server fleet and capacity allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.world.servers import MBPS, ServerSet, allocate_capacities
+
+
+class TestServerSet:
+    def test_basic_properties(self):
+        servers = ServerSet(nodes=np.array([3, 8, 11]), capacities=np.array([1e7, 2e7, 3e7]))
+        assert servers.num_servers == 3
+        assert servers.total_capacity == pytest.approx(6e7)
+        assert servers.total_capacity_mbps == pytest.approx(60.0)
+        np.testing.assert_allclose(servers.capacities_mbps(), [10, 20, 30])
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ServerSet(nodes=np.array([1, 2]), capacities=np.array([1e6]))
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSet(nodes=np.array([1]), capacities=np.array([0.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSet(nodes=np.array([], dtype=int), capacities=np.array([]))
+
+    def test_with_capacities(self):
+        servers = ServerSet(nodes=np.array([0, 1]), capacities=np.array([1e6, 1e6]))
+        updated = servers.with_capacities(np.array([2e6, 3e6]))
+        assert updated.total_capacity == pytest.approx(5e6)
+        np.testing.assert_array_equal(updated.nodes, servers.nodes)
+        # original untouched
+        assert servers.total_capacity == pytest.approx(2e6)
+
+
+class TestAllocateCapacities:
+    @pytest.mark.parametrize("scheme", ["uniform", "random", "proportional"])
+    def test_sums_to_total(self, scheme):
+        caps = allocate_capacities(20, 500.0, scheme=scheme, seed=0)
+        assert caps.sum() == pytest.approx(500.0 * MBPS)
+        assert caps.shape == (20,)
+
+    @pytest.mark.parametrize("scheme", ["random", "proportional"])
+    def test_respects_minimum(self, scheme):
+        caps = allocate_capacities(20, 500.0, min_capacity_mbps=10.0, scheme=scheme, seed=1)
+        assert (caps >= 10.0 * MBPS - 1e-6).all()
+
+    def test_uniform_split_is_even(self):
+        caps = allocate_capacities(5, 100.0, scheme="uniform")
+        np.testing.assert_allclose(caps, 20.0 * MBPS)
+
+    def test_proportional_less_skewed_than_random(self):
+        random_caps = allocate_capacities(50, 1000.0, scheme="random", seed=0)
+        prop_caps = allocate_capacities(50, 1000.0, scheme="proportional", seed=0)
+        assert np.std(prop_caps) < np.std(random_caps)
+
+    def test_deterministic(self):
+        a = allocate_capacities(10, 200.0, scheme="random", seed=7)
+        b = allocate_capacities(10, 200.0, scheme="random", seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_infeasible_minimum(self):
+        with pytest.raises(ValueError):
+            allocate_capacities(10, 50.0, min_capacity_mbps=10.0)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            allocate_capacities(5, 100.0, scheme="exponential")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            allocate_capacities(0, 100.0)
+        with pytest.raises(ValueError):
+            allocate_capacities(5, -1.0)
