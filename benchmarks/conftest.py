@@ -8,6 +8,7 @@ EXPERIMENTS.md can record paper-vs-measured values.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,22 @@ import pytest
 import repro.baselines  # noqa: F401  (registers the baseline solvers)
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_runs(default: int) -> int:
+    """Replication count for a benchmark, overridable via ``REPRO_BENCH_RUNS``.
+
+    CI's benchmark-smoke job sets ``REPRO_BENCH_RUNS=1`` so every paper
+    table/figure driver is exercised end-to-end in seconds; local full runs
+    keep each benchmark's own default.
+    """
+    value = os.environ.get("REPRO_BENCH_RUNS", "").strip()
+    if not value:
+        return default
+    runs = int(value)
+    if runs < 1:
+        raise ValueError(f"REPRO_BENCH_RUNS must be >= 1, got {value!r}")
+    return runs
 
 
 def record_result(name: str, text: str) -> Path:

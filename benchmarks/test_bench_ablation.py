@@ -8,9 +8,15 @@ recomputation) contributes.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.ablation import format_ablation, run_ablation
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_ablation(benchmark, record):

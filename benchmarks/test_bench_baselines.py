@@ -8,13 +8,19 @@ centralised single-site deployment of the same servers.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.baselines_compare import (
     format_baseline_comparison,
     run_baseline_comparison,
     run_centralization_comparison,
 )
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_baseline_comparison(benchmark, record):

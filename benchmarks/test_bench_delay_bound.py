@@ -9,10 +9,16 @@ everyone and the extra forwarding bandwidth buys nothing.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.delay_bound import format_delay_bound, run_delay_bound
 from repro.io.ascii_plot import line_chart
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_delay_bound(benchmark, record):

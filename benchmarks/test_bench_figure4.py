@@ -7,12 +7,18 @@ threshold).
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 
 from repro.experiments.figure4 import format_figure4, run_figure4
 from repro.io.ascii_plot import cdf_chart
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_figure4(benchmark, record):

@@ -7,9 +7,15 @@ GreZ-GreC's resource utilisation falls as δ grows.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.figure5 import format_figure5, run_figure5
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 CORRELATIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 
 

@@ -8,9 +8,15 @@ has little effect; GreZ-GreC stays the best algorithm throughout.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.figure6 import format_figure6, run_figure6
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_figure6(benchmark, record):

@@ -1,0 +1,71 @@
+"""Parallel replication engine: wall-clock speedup on a figure4-sized run.
+
+Runs the Figure 4 experiment (largest paper configuration, delay collection
+on) serially and with four worker processes, asserts the observations are
+bit-identical, and — on multi-core machines — that the pool delivers a real
+wall-clock speedup.  On single-core machines only the determinism half runs;
+there is nothing to parallelise onto.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import numpy as np
+
+from repro.experiments.config import config_from_label
+from repro.experiments.runner import run_replications
+from repro.utils.pool import available_cpus
+
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(4)
+LABEL = "30s-160z-2000c-1000cp"
+ALGORITHMS = ["ranz-virc", "grez-grec"]
+
+
+def _timed_run(workers):
+    config = config_from_label(LABEL, correlation=0.5)
+    start = time.perf_counter()
+    result = run_replications(
+        config,
+        ALGORITHMS,
+        num_runs=NUM_RUNS,
+        seed=0,
+        collect_delays=True,
+        keep_observations=True,
+        workers=workers,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_bench_parallel_determinism_and_speedup(record):
+    serial, serial_seconds = _timed_run(workers=1)
+    parallel, parallel_seconds = _timed_run(workers=4)
+
+    for name in ALGORITHMS:
+        for obs_s, obs_p in zip(serial.observations[name], parallel.observations[name]):
+            assert obs_s.pqos == obs_p.pqos
+            assert obs_s.utilization == obs_p.utilization
+            np.testing.assert_array_equal(obs_s.delays, obs_p.delays)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    lines = [
+        f"Parallel replication engine on {LABEL} ({NUM_RUNS} runs, {ALGORITHMS}):",
+        f"  serial (workers=1):   {serial_seconds:8.2f} s",
+        f"  pool   (workers=4):   {parallel_seconds:8.2f} s",
+        f"  speedup:              {speedup:8.2f}x  ({available_cpus()} CPUs available)",
+        "  per-run observations: bit-identical",
+    ]
+    record("parallel_speedup", "\n".join(lines))
+
+    if available_cpus() >= 2 and NUM_RUNS >= 2:
+        # Modest bar on purpose: CI machines are noisy, 2 cores are common.
+        assert speedup > 1.1, (
+            f"expected wall-clock speedup with 4 workers on {available_cpus()} CPUs, "
+            f"got {speedup:.2f}x ({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
+        )

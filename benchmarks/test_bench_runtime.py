@@ -10,10 +10,16 @@ magnitude cheaper and scale to the large configurations) must hold.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.config import PAPER_SMALL_LABELS, PAPER_TABLE1_LABELS
 from repro.experiments.runtime import format_runtime, run_runtime
 
-NUM_RUNS = 2
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(2)
 
 
 def test_bench_runtime(benchmark, record):

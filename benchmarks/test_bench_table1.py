@@ -8,10 +8,16 @@ the two small configurations, averaged over many runs.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.paper_values import PAPER_TABLE1_PQOS
 from repro.experiments.table1 import format_table1, run_table1
 
-NUM_RUNS = 5
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(5)
 
 
 def test_bench_table1(benchmark, record):

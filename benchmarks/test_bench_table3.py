@@ -7,9 +7,15 @@ algorithm, and re-executing the assignment restores it.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.table3 import format_table3, run_table3
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_table3(benchmark, record):

@@ -9,9 +9,15 @@ above the RanZ variants.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.table4 import format_table4, run_table4
 
-NUM_RUNS = 3
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+NUM_RUNS = bench_runs(3)
 
 
 def test_bench_table4(benchmark, record):

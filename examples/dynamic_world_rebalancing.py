@@ -52,9 +52,21 @@ def manual_walkthrough() -> None:
 
     rows = [
         ["before churn", assignment.pqos(instance), assignment.resource_utilization(instance)],
-        ["after churn, stale assignment", stale.pqos(new_instance), stale.resource_utilization(new_instance)],
-        ["incremental repair (contacts only)", repaired.pqos(new_instance), repaired.resource_utilization(new_instance)],
-        ["full re-execution (GreZ-GreC)", fresh.pqos(new_instance), fresh.resource_utilization(new_instance)],
+        [
+            "after churn, stale assignment",
+            stale.pqos(new_instance),
+            stale.resource_utilization(new_instance),
+        ],
+        [
+            "incremental repair (contacts only)",
+            repaired.pqos(new_instance),
+            repaired.resource_utilization(new_instance),
+        ],
+        [
+            "full re-execution (GreZ-GreC)",
+            fresh.pqos(new_instance),
+            fresh.resource_utilization(new_instance),
+        ],
     ]
     print(
         format_table(

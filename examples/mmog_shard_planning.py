@@ -103,7 +103,14 @@ def main() -> None:
     plan_rows.sort(key=lambda row: -row[5])
     print(
         format_table(
-            ["server", "zones hosted", "clients connected", "load (Mbps)", "capacity (Mbps)", "utilisation"],
+            [
+                "server",
+                "zones hosted",
+                "clients connected",
+                "load (Mbps)",
+                "capacity (Mbps)",
+                "utilisation",
+            ],
             plan_rows,
             title="Per-server capacity plan (GreZ-GreC), busiest first",
         )

@@ -94,7 +94,13 @@ def local_search_headroom() -> None:
         )
     print(
         format_table(
-            ["starting heuristic", "pQoS before", "pQoS after local search", "moves", "search (ms)"],
+            [
+                "starting heuristic",
+                "pQoS before",
+                "pQoS after local search",
+                "moves",
+                "search (ms)",
+            ],
             rows,
             title=f"Local-search headroom on {config.label}",
         )

@@ -71,7 +71,9 @@ def _assign_zones_nearest(instance: CAPInstance) -> ZoneAssignment:
     )
 
 
-def solve_nearest_server(instance: CAPInstance, seed: SeedLike = None) -> Assignment:  # noqa: ARG001
+def solve_nearest_server(
+    instance: CAPInstance, seed: SeedLike = None  # noqa: ARG001
+) -> Assignment:
     """Full CAP baseline: nearest target server per zone, nearest contact per client."""
     with Timer() as timer:
         zones = _assign_zones_nearest(instance)

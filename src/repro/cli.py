@@ -20,13 +20,24 @@ import repro.baselines  # noqa: F401  (registers the baseline solvers)
 from repro import __version__
 from repro.core import CAPInstance
 from repro.core.registry import solve as registry_solve, solver_names
-from repro.experiments.config import config_from_label, PAPER_DEFAULT_LABEL
-from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment
+from repro.experiments.config import ExperimentConfig, config_from_label, PAPER_DEFAULT_LABEL
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
 from repro.io.tables import format_kv, format_table
 from repro.metrics import qos_report, resource_report
 from repro.world import build_scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _workers_type(value: str) -> int:
+    """argparse type for ``--workers``: a non-negative integer (0 = all CPUs)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (0 = one per CPU), got {workers}")
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
     exp.add_argument("--runs", type=int, default=3, help="simulation runs to average over")
     exp.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    exp.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=None,
+        help=(
+            "worker processes for the replication engine "
+            "(default: serial; 0 = one per CPU; results are identical for any value)"
+        ),
+    )
 
     return parser
 
@@ -124,7 +144,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
-    result = spec.run(num_runs=args.runs, seed=args.seed)
+    if args.workers is not None and not spec.supports_workers:
+        print(f"note: experiment {spec.experiment_id!r} always runs serially; --workers ignored")
+    config = ExperimentConfig(num_runs=args.runs, seed=args.seed, workers=args.workers)
+    result = run_experiment(spec, config)
     print(spec.format(result))
     return 0
 

@@ -13,8 +13,6 @@ evaluated against the post-churn population in the dynamics experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
-
 import numpy as np
 
 from repro.core.costs import delays_to_targets

@@ -16,11 +16,21 @@ The objective mirrors the paper's: primarily maximise the number of clients
 with QoS, secondarily minimise the total excess delay of the clients without
 QoS (so progress is visible even when a single move cannot flip a client
 across the bound).
+
+Two interchangeable implementations are provided.  The ``"vectorized"``
+backend (default) evaluates the whole zone-move neighbourhood with NumPy
+delta-cost matrices — one ``(zones, servers)`` objective matrix and one
+feasibility matrix per sweep — and the contact-move neighbourhood with one
+``(over-bound clients, servers)`` matrix, so a full improvement sweep is a
+handful of array operations.  The ``"loop"`` backend is the original nested
+Python scan, kept as the executable specification of the move-acceptance
+semantics; the test suite checks the two agree on small instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +40,9 @@ from repro.core.problem import CAPInstance
 from repro.utils.timing import Timer
 
 __all__ = ["LocalSearchResult", "refine_assignment"]
+
+#: Capacity slack used by every feasibility check (matches the heuristics).
+_CAP_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -62,12 +75,326 @@ def _objective(instance: CAPInstance, delays: np.ndarray) -> tuple[int, float]:
     return int(within.sum()), -float(excess)
 
 
+# --------------------------------------------------------------------------- #
+# Loop backend — the executable specification of the move semantics.
+# --------------------------------------------------------------------------- #
+def _refine_loop(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    max_iterations: int,
+    consider_zone_moves: bool,
+    consider_contact_moves: bool,
+) -> int:
+    """Original nested-scan hill climber; mutates the arrays in place."""
+    capacities = instance.server_capacities
+    iterations = 0
+    for _ in range(max_iterations):
+        delays = delays_to_targets(instance, zone_to_server, contacts)
+        current = _objective(instance, delays)
+        loads = server_loads(instance, zone_to_server, contacts)
+        best_gain: tuple[int, float] | None = None
+        best_apply = None
+
+        # ---------------- zone moves ---------------- #
+        if consider_zone_moves:
+            zone_demands = instance.zone_demands()
+            for zone in range(instance.num_zones):
+                members = instance.clients_of_zone(zone)
+                if members.size == 0:
+                    continue
+                old_server = int(zone_to_server[zone])
+                for server in range(instance.num_servers):
+                    if server == old_server:
+                        continue
+                    if loads[server] + zone_demands[zone] > capacities[server] + _CAP_EPS:
+                        continue
+                    trial_zone = zone_to_server.copy()
+                    trial_zone[zone] = server
+                    trial_contacts = contacts.copy()
+                    # Clients of the moved zone reconnect directly to the new
+                    # host (the GreC base case); forwarded clients elsewhere
+                    # are unaffected because their targets did not change.
+                    trial_contacts[members] = server
+                    trial_loads = server_loads(instance, trial_zone, trial_contacts)
+                    if (trial_loads > capacities + _CAP_EPS).any():
+                        continue
+                    trial_delays = delays_to_targets(instance, trial_zone, trial_contacts)
+                    candidate = _objective(instance, trial_delays)
+                    if candidate > current and (best_gain is None or candidate > best_gain):
+                        best_gain = candidate
+                        best_apply = ("zone", zone, server, trial_contacts)
+
+        # ---------------- contact moves ---------------- #
+        if consider_contact_moves:
+            targets = zone_to_server[instance.client_zones]
+            delays_now = delays_to_targets(instance, zone_to_server, contacts)
+            # Only clients currently missing the bound can gain from a move.
+            for client in np.flatnonzero(delays_now > instance.delay_bound):
+                client = int(client)
+                target = int(targets[client])
+                options = (
+                    instance.client_server_delays[client]
+                    + instance.server_server_delays[:, target]
+                )
+                for server in np.argsort(options, kind="stable"):
+                    server = int(server)
+                    if server == int(contacts[client]):
+                        continue
+                    extra = 0.0 if server == target else 2.0 * instance.client_demands[client]
+                    new_load = loads[server] + extra
+                    if server != int(contacts[client]) and new_load > capacities[server] + _CAP_EPS:
+                        continue
+                    trial_contacts = contacts.copy()
+                    trial_contacts[client] = server
+                    trial_delays = delays_now.copy()
+                    trial_delays[client] = options[server]
+                    candidate = _objective(instance, trial_delays)
+                    if candidate > current and (best_gain is None or candidate > best_gain):
+                        best_gain = candidate
+                        best_apply = ("contact", client, server, trial_contacts)
+                    break  # only the best option per client needs checking
+
+        if best_apply is None:
+            break
+        kind, index, server, new_contacts = best_apply
+        if kind == "zone":
+            zone_to_server[index] = server
+        contacts[:] = new_contacts
+        iterations += 1
+    return iterations
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized backend — delta-cost matrices instead of nested scans.
+# --------------------------------------------------------------------------- #
+def _best_zone_move(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    loads: np.ndarray,
+    within: np.ndarray,
+    excess_vec: np.ndarray,
+    qos_count: int,
+    excess_total: float,
+    within_matrix: np.ndarray,
+    excess_matrix: np.ndarray,
+    zone_sizes: np.ndarray,
+) -> Optional[Tuple[int, float, int, int]]:
+    """Best improving zone move as ``(qos, excess, zone, server)``, or None.
+
+    Mirrors the loop scan exactly: a move is improving when its objective
+    strictly beats the current one, and ties between improving moves resolve
+    to the first in (zone-major, server-minor) order because later candidates
+    must *strictly* beat the incumbent.
+    """
+    num_zones, num_servers = instance.num_zones, instance.num_servers
+    if num_zones == 0 or num_servers == 0:
+        return None
+    zones_of = instance.client_zones
+    capacities = instance.server_capacities
+    zone_demands = instance.zone_demands()
+    old_servers = zone_to_server
+
+    # Objective after moving zone j to server s, via per-zone deltas:
+    # members reconnect directly, everyone else's delay is unchanged.
+    within_current = np.bincount(zones_of, weights=within.astype(np.float64), minlength=num_zones)
+    excess_current = np.bincount(zones_of, weights=excess_vec, minlength=num_zones)
+    qos_after = qos_count - within_current[:, None] + within_matrix
+    excess_after = excess_total - excess_current[:, None] + excess_matrix
+
+    # Load after the move: the zone's demand migrates from its old host to s
+    # and the forwarding overhead of its currently-forwarded members vanishes
+    # (they reconnect directly to the new host).
+    targets = old_servers[zones_of]
+    forwarded = contacts != targets
+    forwarding_released = np.zeros((num_zones, num_servers), dtype=np.float64)
+    if forwarded.any():
+        np.add.at(
+            forwarding_released,
+            (zones_of[forwarded], contacts[forwarded]),
+            2.0 * instance.client_demands[forwarded],
+        )
+    trial_base = loads[None, :] - forwarding_released
+    trial_base[np.arange(num_zones), old_servers] -= zone_demands
+
+    # Full feasibility: every server must end within capacity.  Servers other
+    # than the destination only ever lose load, but a pre-existing overload
+    # elsewhere still vetoes the move (as in the loop's trial check).
+    over_matrix = trial_base > capacities[None, :] + _CAP_EPS
+    over_elsewhere = over_matrix.sum(axis=1)[:, None] - over_matrix
+    feasible = over_elsewhere == 0
+    feasible &= trial_base + zone_demands[:, None] <= capacities[None, :] + _CAP_EPS
+    # The loop's cheap pre-check uses the *unreduced* loads; keep it so the
+    # accepted move set is identical.
+    feasible &= loads[None, :] + zone_demands[:, None] <= capacities[None, :] + _CAP_EPS
+    feasible[np.arange(num_zones), old_servers] = False
+    feasible[zone_sizes == 0, :] = False
+
+    improving = feasible & (
+        (qos_after > qos_count) | ((qos_after == qos_count) & (excess_after < excess_total))
+    )
+    if not improving.any():
+        return None
+    qos_masked = np.where(improving, qos_after, -np.inf)
+    best_qos = qos_masked.max()
+    excess_masked = np.where(improving & (qos_after == best_qos), excess_after, np.inf)
+    best_excess = excess_masked.min()
+    flat = int(np.flatnonzero((qos_masked == best_qos) & (excess_masked == best_excess))[0])
+    zone, server = divmod(flat, num_servers)
+    return int(best_qos), float(best_excess), int(zone), int(server)
+
+
+def _best_contact_move(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    loads: np.ndarray,
+    delays: np.ndarray,
+    excess_vec: np.ndarray,
+    qos_count: int,
+    excess_total: float,
+    incumbent: Optional[Tuple[int, float]],
+) -> Optional[Tuple[int, float, int, int]]:
+    """Best improving contact move as ``(qos, excess, client, server)``, or None.
+
+    Per the loop semantics each over-bound client contributes exactly one
+    candidate — its delay-wise best feasible server other than its current
+    contact — and a candidate must strictly beat both the current objective
+    and the incumbent (the best zone move, then earlier clients).
+    """
+    over_clients = np.flatnonzero(delays > instance.delay_bound)
+    if over_clients.size == 0:
+        return None
+    num_servers = instance.num_servers
+    capacities = instance.server_capacities
+    targets = zone_to_server[instance.client_zones][over_clients]
+    demands = instance.client_demands[over_clients]
+    rows = np.arange(over_clients.size)
+
+    # options[c, s] = d(c, s) + d(s, target_c); forwarding costs 2·RT(c) at s
+    # unless s already is the target.
+    options = instance.client_server_delays[over_clients] + instance.server_server_delays.T[targets]
+    extra = 2.0 * demands[:, None] * (np.arange(num_servers)[None, :] != targets[:, None])
+    feasible = loads[None, :] + extra <= capacities[None, :] + _CAP_EPS
+    feasible[rows, contacts[over_clients]] = False  # staying put is not a move
+
+    order = np.argsort(options, axis=1, kind="stable")
+    feasible_sorted = np.take_along_axis(feasible, order, axis=1)
+    has_candidate = feasible_sorted.any(axis=1)
+    first = feasible_sorted.argmax(axis=1)
+    chosen = order[rows, first]
+    new_delay = options[rows, chosen]
+
+    qos_after = qos_count + (new_delay <= instance.delay_bound)
+    excess_after = (
+        excess_total
+        - excess_vec[over_clients]
+        + np.maximum(new_delay - instance.delay_bound, 0.0)
+    )
+    valid = has_candidate & (
+        (qos_after > qos_count) | ((qos_after == qos_count) & (excess_after < excess_total))
+    )
+    if incumbent is not None:
+        inc_qos, inc_excess = incumbent
+        valid &= (qos_after > inc_qos) | ((qos_after == inc_qos) & (excess_after < inc_excess))
+    if not valid.any():
+        return None
+    qos_masked = np.where(valid, qos_after, -np.inf)
+    best_qos = qos_masked.max()
+    excess_masked = np.where(valid & (qos_after == best_qos), excess_after, np.inf)
+    best_excess = excess_masked.min()
+    row = int(np.flatnonzero((qos_masked == best_qos) & (excess_masked == best_excess))[0])
+    return int(best_qos), float(best_excess), int(over_clients[row]), int(chosen[row])
+
+
+def _refine_vectorized(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    max_iterations: int,
+    consider_zone_moves: bool,
+    consider_contact_moves: bool,
+) -> int:
+    """Delta-cost-matrix hill climber; mutates the arrays in place."""
+    num_zones = instance.num_zones
+    zones_of = instance.client_zones
+    bound = instance.delay_bound
+    # Loop-invariant per-(zone, server) aggregates of the post-move delays:
+    # members of a moved zone always connect directly to the new host.
+    within_matrix = np.zeros((num_zones, instance.num_servers), dtype=np.float64)
+    excess_matrix = np.zeros_like(within_matrix)
+    if instance.num_clients:
+        # Post-move delay of a member is d(c, s) + d(s, s) — the self-delay
+        # term is normally zero but is kept for exact parity with the loop.
+        direct = instance.client_server_delays + np.diag(instance.server_server_delays)[None, :]
+        np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
+        np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
+    zone_sizes = np.bincount(zones_of, minlength=num_zones)
+
+    iterations = 0
+    for _ in range(max_iterations):
+        delays = delays_to_targets(instance, zone_to_server, contacts)
+        within = delays <= bound
+        excess_vec = np.maximum(delays - bound, 0.0)
+        qos_count = int(within.sum())
+        excess_total = float(excess_vec.sum())
+        loads = server_loads(instance, zone_to_server, contacts)
+
+        best = None  # (qos, excess, kind, index, server)
+        if consider_zone_moves:
+            move = _best_zone_move(
+                instance,
+                zone_to_server,
+                contacts,
+                loads,
+                within,
+                excess_vec,
+                qos_count,
+                excess_total,
+                within_matrix,
+                excess_matrix,
+                zone_sizes,
+            )
+            if move is not None:
+                best = (move[0], move[1], "zone", move[2], move[3])
+        if consider_contact_moves:
+            move = _best_contact_move(
+                instance,
+                zone_to_server,
+                contacts,
+                loads,
+                delays,
+                excess_vec,
+                qos_count,
+                excess_total,
+                incumbent=None if best is None else (best[0], best[1]),
+            )
+            if move is not None:
+                best = (move[0], move[1], "contact", move[2], move[3])
+
+        if best is None:
+            break
+        _, _, kind, index, server = best
+        if kind == "zone":
+            zone_to_server[index] = server
+            contacts[zones_of == index] = server
+        else:
+            contacts[index] = server
+        iterations += 1
+    return iterations
+
+
+_BACKENDS = ("vectorized", "loop")
+
+
 def refine_assignment(
     instance: CAPInstance,
     assignment: Assignment,
     max_iterations: int = 200,
     consider_zone_moves: bool = True,
     consider_contact_moves: bool = True,
+    backend: str = "vectorized",
 ) -> LocalSearchResult:
     """Hill-climb an assignment with zone-move and contact-move neighbourhoods.
 
@@ -86,93 +413,30 @@ def refine_assignment(
     consider_zone_moves / consider_contact_moves:
         Restrict the neighbourhood (used by the ablation study to attribute
         improvements to one move type).
+    backend:
+        ``"vectorized"`` (default) evaluates each sweep with NumPy delta-cost
+        matrices; ``"loop"`` is the original nested Python scan with the same
+        move-acceptance semantics.  Objective deltas are accumulated in a
+        different floating-point order, so the two backends can in principle
+        break an exact tie differently; both always return a move-wise local
+        optimum of the same neighbourhood.
     """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
     zone_to_server = assignment.zone_to_server.copy()
     contacts = assignment.contact_of_client.copy()
-    capacities = instance.server_capacities
     initial_pqos = assignment.pqos(instance)
 
+    refine = _refine_vectorized if backend == "vectorized" else _refine_loop
     with Timer() as timer:
-        iterations = 0
-        for _ in range(max_iterations):
-            delays = delays_to_targets(instance, zone_to_server, contacts)
-            current = _objective(instance, delays)
-            loads = server_loads(instance, zone_to_server, contacts)
-            best_gain: tuple[int, float] | None = None
-            best_apply = None
-
-            # ---------------- zone moves ---------------- #
-            if consider_zone_moves:
-                zone_demands = instance.zone_demands()
-                for zone in range(instance.num_zones):
-                    members = instance.clients_of_zone(zone)
-                    if members.size == 0:
-                        continue
-                    old_server = int(zone_to_server[zone])
-                    for server in range(instance.num_servers):
-                        if server == old_server:
-                            continue
-                        if loads[server] + zone_demands[zone] > capacities[server] + 1e-9:
-                            continue
-                        trial_zone = zone_to_server.copy()
-                        trial_zone[zone] = server
-                        trial_contacts = contacts.copy()
-                        # Clients of the moved zone reconnect directly to the new
-                        # host (the GreC base case); forwarded clients elsewhere
-                        # are unaffected because their targets did not change.
-                        trial_contacts[members] = server
-                        trial_loads = server_loads(instance, trial_zone, trial_contacts)
-                        if (trial_loads > capacities + 1e-9).any():
-                            continue
-                        trial_delays = delays_to_targets(instance, trial_zone, trial_contacts)
-                        candidate = _objective(instance, trial_delays)
-                        if candidate > current and (best_gain is None or candidate > best_gain):
-                            best_gain = candidate
-                            best_apply = ("zone", zone, server, trial_contacts)
-
-            # ---------------- contact moves ---------------- #
-            if consider_contact_moves:
-                targets = zone_to_server[instance.client_zones]
-                delays_now = delays_to_targets(instance, zone_to_server, contacts)
-                # Only clients currently missing the bound can gain from a move.
-                for client in np.flatnonzero(delays_now > instance.delay_bound):
-                    client = int(client)
-                    target = int(targets[client])
-                    options = (
-                        instance.client_server_delays[client]
-                        + instance.server_server_delays[:, target]
-                    )
-                    for server in np.argsort(options, kind="stable"):
-                        server = int(server)
-                        if server == int(contacts[client]):
-                            continue
-                        extra = 0.0 if server == target else 2.0 * instance.client_demands[client]
-                        released = (
-                            0.0
-                            if int(contacts[client]) == target
-                            else 2.0 * instance.client_demands[client]
-                        )
-                        new_load = loads[server] + extra
-                        if server != int(contacts[client]) and new_load > capacities[server] + 1e-9:
-                            continue
-                        trial_contacts = contacts.copy()
-                        trial_contacts[client] = server
-                        trial_delays = delays_now.copy()
-                        trial_delays[client] = options[server]
-                        candidate = _objective(instance, trial_delays)
-                        if candidate > current and (best_gain is None or candidate > best_gain):
-                            best_gain = candidate
-                            best_apply = ("contact", client, server, trial_contacts)
-                        del released
-                        break  # only the best option per client needs checking
-
-            if best_apply is None:
-                break
-            kind, index, server, new_contacts = best_apply
-            if kind == "zone":
-                zone_to_server[index] = server
-            contacts = new_contacts
-            iterations += 1
+        iterations = refine(
+            instance,
+            zone_to_server,
+            contacts,
+            max_iterations,
+            consider_zone_moves,
+            consider_contact_moves,
+        )
 
     refined = Assignment(
         zone_to_server=zone_to_server,

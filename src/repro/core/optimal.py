@@ -30,7 +30,13 @@ from repro.core.costs import initial_cost_matrix, refined_cost_matrix
 from repro.core.problem import CAPInstance
 from repro.utils.timing import Timer
 
-__all__ = ["OptimalityError", "OptimalOptions", "solve_iap_optimal", "solve_rap_optimal", "solve_cap_optimal"]
+__all__ = [
+    "OptimalityError",
+    "OptimalOptions",
+    "solve_iap_optimal",
+    "solve_rap_optimal",
+    "solve_cap_optimal",
+]
 
 
 class OptimalityError(RuntimeError):

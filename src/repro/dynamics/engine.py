@@ -11,7 +11,7 @@ assignments age under sustained churn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve

@@ -116,4 +116,6 @@ def apply_churn(population: ClientPopulation, batch: ChurnBatch) -> ChurnResult:
 
     final = survivors.with_joined(batch.join_nodes, batch.join_zones)
     new_client_indices = np.arange(survivors.num_clients, final.num_clients)
-    return ChurnResult(population=final, old_to_new=old_to_new, new_client_indices=new_client_indices)
+    return ChurnResult(
+        population=final, old_to_new=old_to_new, new_client_indices=new_client_indices
+    )

@@ -23,7 +23,7 @@ which decomposes GreZ-GreC's advantage into its ingredients.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import repro.baselines  # noqa: F401 - registers the baseline solvers
 from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
@@ -80,6 +80,7 @@ def run_ablation(
     seed: SeedLike = 0,
     correlation: float = 0.5,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """Run the ablation comparison on one configuration."""
     variants = list(variants or DEFAULT_ABLATION_VARIANTS)
@@ -90,6 +91,7 @@ def run_ablation(
         num_runs=num_runs,
         seed=seed,
         share_topology=share_topology,
+        workers=workers,
     )
     return AblationResult(label=label, result=result, variants=variants)
 

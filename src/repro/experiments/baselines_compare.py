@@ -26,6 +26,7 @@ from repro.experiments.config import PAPER_TABLE1_LABELS, config_from_label
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, aggregate
+from repro.utils.pool import ordered_map
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import build_scenario
 
@@ -81,6 +82,7 @@ def run_baseline_comparison(
     seed: SeedLike = 0,
     correlation: float = 0.5,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> BaselineComparisonResult:
     """Compare the paper's algorithms against the related-work baselines."""
     solvers = list(solvers or DEFAULT_SOLVERS)
@@ -93,8 +95,26 @@ def run_baseline_comparison(
             num_runs=num_runs,
             seed=seed,
             share_topology=share_topology,
+            workers=workers,
         )
     return BaselineComparisonResult(labels=list(labels), solvers=solvers, results=results)
+
+
+def _execute_centralization_run(task) -> tuple[float, float]:
+    """One distributed-vs-centralised run (worker-side; must be picklable)."""
+    import repro.baselines  # noqa: F401 — repopulate the registry under spawn
+
+    config, algorithm, rng = task
+    scenario_rng, solve_rng = spawn_generators(rng, 2)
+    scenario = build_scenario(config, seed=scenario_rng)
+    central_scenario = centralize_servers(scenario)
+
+    instance = CAPInstance.from_scenario(scenario)
+    central_instance = CAPInstance.from_scenario(central_scenario)
+    return (
+        registry_solve(instance, algorithm, seed=solve_rng).pqos(instance),
+        registry_solve(central_instance, algorithm, seed=solve_rng).pqos(central_instance),
+    )
 
 
 def run_centralization_comparison(
@@ -103,25 +123,19 @@ def run_centralization_comparison(
     num_runs: int = 3,
     seed: SeedLike = 0,
     correlation: float = 0.5,
+    workers: Optional[int] = None,
 ) -> CentralizationResult:
     """Compare the GDSA against a centralised deployment of the same servers."""
     config = config_from_label(label, correlation=correlation)
     rng = as_generator(seed)
     run_rngs = spawn_generators(rng, num_runs)
 
+    tasks = [(config, algorithm, run_rngs[i]) for i in range(num_runs)]
     distributed: List[float] = []
     centralized: List[float] = []
-    for run_index in range(num_runs):
-        scenario_rng, solve_rng = spawn_generators(run_rngs[run_index], 2)
-        scenario = build_scenario(config, seed=scenario_rng)
-        central_scenario = centralize_servers(scenario)
-
-        instance = CAPInstance.from_scenario(scenario)
-        central_instance = CAPInstance.from_scenario(central_scenario)
-        distributed.append(registry_solve(instance, algorithm, seed=solve_rng).pqos(instance))
-        centralized.append(
-            registry_solve(central_instance, algorithm, seed=solve_rng).pqos(central_instance)
-        )
+    for dist_pqos, central_pqos in ordered_map(_execute_centralization_run, tasks, workers=workers):
+        distributed.append(dist_pqos)
+        centralized.append(central_pqos)
 
     return CentralizationResult(
         label=label,

@@ -9,11 +9,13 @@ in Table 1 together with the default simulation parameters of Section 4.1.
 from __future__ import annotations
 
 import re
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.world.scenario import DVEConfig
 
 __all__ = [
+    "ExperimentConfig",
     "parse_config_label",
     "config_from_label",
     "PAPER_TABLE1_LABELS",
@@ -22,6 +24,48 @@ __all__ = [
     "paper_table1_configs",
     "paper_default_config",
 ]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Execution settings shared by every experiment driver.
+
+    This is the *how* of an experiment run (replications, seeding, process
+    count), as opposed to the DVE configuration, which is the *what*.  The CLI
+    builds one from its flags and the registry translates it into the keyword
+    arguments every ``run_*`` driver accepts.
+
+    Attributes
+    ----------
+    num_runs:
+        Simulation runs to average over (the paper uses 50).
+    seed:
+        Master RNG seed; every run derives an independent sub-stream.
+    workers:
+        Worker processes for the replication engine: ``None``/``1`` serial,
+        ``0`` one per available CPU, ``n`` exactly ``n`` processes.
+    """
+
+    num_runs: int = 3
+    seed: int = 0
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_runs < 1:
+            raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0 (0 = all CPUs), got {self.workers}")
+
+    def run_kwargs(self, supports_workers: bool = True) -> Dict[str, object]:
+        """Keyword arguments for an experiment driver's ``run`` callable.
+
+        ``workers`` is included only when set *and* supported, so drivers
+        (and test doubles) without the knob keep working untouched.
+        """
+        kwargs: Dict[str, object] = {"num_runs": self.num_runs, "seed": self.seed}
+        if supports_workers and self.workers is not None:
+            kwargs["workers"] = self.workers
+        return kwargs
 
 _LABEL_RE = re.compile(
     r"^\s*(?P<servers>\d+)s-(?P<zones>\d+)z-(?P<clients>\d+)c-(?P<capacity>\d+(?:\.\d+)?)cp\s*$",

@@ -74,6 +74,7 @@ def run_delay_bound(
     seed: SeedLike = 0,
     correlation: float = 0.5,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> DelayBoundResult:
     """Sweep the interactivity bound D and evaluate every algorithm at each value.
 
@@ -92,6 +93,7 @@ def run_delay_bound(
             seed=seed,
             delay_bound_ms=float(bound),
             share_topology=share_topology,
+            workers=workers,
         )
     return DelayBoundResult(
         label=label,

@@ -58,6 +58,7 @@ def run_figure4(
     correlation: float = 0.5,
     grid: Optional[np.ndarray] = None,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> Figure4Result:
     """Run the Figure 4 experiment and return per-algorithm delay CDFs."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -72,6 +73,7 @@ def run_figure4(
         collect_delays=True,
         cdf_grid=grid,
         share_topology=share_topology,
+        workers=workers,
     )
     cdfs = {
         name: result.summaries[name].delay_cdf

@@ -70,6 +70,7 @@ def run_figure5(
     seed: SeedLike = 0,
     delay_bound_ms: float = FIGURE5_DELAY_BOUND_MS,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> Figure5Result:
     """Run the correlation sweep of Figure 5."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -84,6 +85,7 @@ def run_figure5(
             num_runs=num_runs,
             seed=seed,
             share_topology=share_topology,
+            workers=workers,
         )
     return Figure5Result(
         label=label,
@@ -99,7 +101,10 @@ def format_figure5(result: Figure5Result) -> str:
     part_a = format_table(
         headers,
         result.rows("pqos"),
-        title=f"Figure 5(a): pQoS vs correlation, {result.label}, D={FIGURE5_DELAY_BOUND_MS:.0f} ms",
+        title=(
+            f"Figure 5(a): pQoS vs correlation, {result.label}, "
+            f"D={FIGURE5_DELAY_BOUND_MS:.0f} ms"
+        ),
     )
     part_b = format_table(
         headers,

@@ -68,6 +68,7 @@ def run_figure6(
     correlation: float = 0.5,
     hot_zone_factor: float = 10.0,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> Figure6Result:
     """Run the distribution-type sweep of Figure 6."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -89,6 +90,7 @@ def run_figure6(
             num_runs=num_runs,
             seed=seed,
             share_topology=share_topology,
+            workers=workers,
         )
     return Figure6Result(
         label=label,

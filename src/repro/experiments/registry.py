@@ -9,7 +9,7 @@ table so the set of reproducible artefacts lives in exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Union
 
 from repro.experiments import (
     ablation,
@@ -23,16 +23,24 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.experiments.config import ExperimentConfig
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "experiment_ids"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "experiment_ids",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A runnable, formattable experiment.
 
-    ``run`` accepts keyword arguments (at least ``num_runs`` and ``seed``) and
-    returns a result object; ``format`` turns that result into printable text.
+    ``run`` accepts keyword arguments (at least ``num_runs`` and ``seed``;
+    also ``workers`` when ``supports_workers``) and returns a result object;
+    ``format`` turns that result into printable text.
     """
 
     experiment_id: str
@@ -40,15 +48,17 @@ class ExperimentSpec:
     description: str
     run: Callable[..., object]
     format: Callable[[object], str]
+    supports_workers: bool = True
 
 
-def _spec(experiment_id, paper_artifact, description, run, fmt) -> ExperimentSpec:
+def _spec(experiment_id, paper_artifact, description, run, fmt, supports_workers=True):
     return ExperimentSpec(
         experiment_id=experiment_id,
         paper_artifact=paper_artifact,
         description=description,
         run=run,
         format=fmt,
+        supports_workers=supports_workers,
     )
 
 
@@ -115,6 +125,9 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "Solver execution times across configuration sizes",
         runtime.run_runtime,
         runtime.format_runtime,
+        # Wall-clock measurements on a contended pool would be meaningless,
+        # so the runtime experiment always executes serially.
+        supports_workers=False,
     ),
     "delay-bound": _spec(
         "delay-bound",
@@ -139,3 +152,20 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 def experiment_ids() -> list[str]:
     """All experiment ids, sorted."""
     return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment: Union[str, ExperimentSpec],
+    config: ExperimentConfig,
+    **extra,
+) -> object:
+    """Run an experiment under the given execution settings.
+
+    ``workers`` is forwarded only to drivers that support parallel execution
+    (all except ``runtime``); any ``extra`` keyword arguments are passed to
+    the driver verbatim.
+    """
+    spec = experiment if isinstance(experiment, ExperimentSpec) else get_experiment(experiment)
+    kwargs = config.run_kwargs(supports_workers=spec.supports_workers)
+    kwargs.update(extra)
+    return spec.run(**kwargs)

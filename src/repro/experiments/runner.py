@@ -7,12 +7,19 @@ configuration (new topology sample, new placements, new client distribution),
 optionally pass the instance through a delay-estimation error model, solve it
 with every requested algorithm, and evaluate pQoS / resource utilisation of
 each solution against the *true* instance.
+
+Runs are independent by construction (each gets its own child RNG from
+:func:`~repro.utils.rng.spawn_generators`), so the engine can execute them on
+a process pool: ``workers=4`` distributes the runs over four processes and
+streams the per-run observations back in run order.  Because every run's
+randomness is fixed in the parent before any work is dispatched, the parallel
+and serial paths produce bit-identical observations for the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,11 +28,18 @@ from repro.core.registry import ensure_registered, solve as registry_solve
 from repro.measurement.estimators import DelayEstimator
 from repro.metrics.cdf import EmpiricalCDF, delay_cdf, merge_cdfs
 from repro.metrics.summary import AggregateStat, aggregate
+from repro.utils.pool import ordered_map
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.utils.timing import Timer
 from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
 
-__all__ = ["RunObservation", "AlgorithmSummary", "ReplicatedResult", "evaluate_algorithms", "run_replications"]
+__all__ = [
+    "RunObservation",
+    "AlgorithmSummary",
+    "ReplicatedResult",
+    "evaluate_algorithms",
+    "run_replications",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +140,49 @@ def evaluate_algorithms(
     return results
 
 
+@dataclass(frozen=True)
+class _RunTask:
+    """Everything one simulation run needs, fixed in the parent process.
+
+    The task (including its :class:`numpy.random.Generator`, whose seed
+    sequence survives pickling) is the unit shipped to worker processes, so a
+    run's result is a pure function of the task — independent of which worker
+    executes it and in which order.
+    """
+
+    config: DVEConfig
+    algorithms: Tuple[str, ...]
+    rng: np.random.Generator
+    estimator: Optional[DelayEstimator]
+    delay_bound_ms: Optional[float]
+    collect_delays: bool
+    topology: Optional[object]
+    delay_model: Optional[object]
+
+
+def _execute_run(task: _RunTask) -> Dict[str, RunObservation]:
+    """Execute one simulation run (worker-side entry point; must be picklable)."""
+    # Re-populate the solver registry when the pool uses a ``spawn`` /
+    # ``forkserver`` start method (under ``fork`` this is a cached no-op).
+    import repro.baselines  # noqa: F401
+
+    scenario_rng, eval_rng = spawn_generators(task.rng, 2)
+    scenario = build_scenario(
+        task.config,
+        seed=scenario_rng,
+        topology=task.topology,
+        delay_model=task.delay_model,
+    )
+    return evaluate_algorithms(
+        scenario,
+        task.algorithms,
+        seed=eval_rng,
+        estimator=task.estimator,
+        delay_bound_ms=task.delay_bound_ms,
+        collect_delays=task.collect_delays,
+    )
+
+
 def run_replications(
     config: DVEConfig,
     algorithms: Sequence[str],
@@ -137,6 +194,7 @@ def run_replications(
     cdf_grid: Optional[np.ndarray] = None,
     share_topology: bool = False,
     keep_observations: bool = False,
+    workers: Optional[int] = None,
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent simulation runs and aggregate the metrics.
 
@@ -161,6 +219,11 @@ def run_replications(
         in half for quick exploratory sweeps.
     keep_observations:
         Also return the raw per-run observations.
+    workers:
+        Worker processes for the runs: ``None``/``1`` — serial (in-process),
+        ``0`` — one per available CPU, ``n`` — exactly ``n`` processes.  The
+        per-run observations are bit-identical for every worker count (only
+        ``runtime_seconds``, a wall-clock measurement, may differ).
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
@@ -182,23 +245,22 @@ def run_replications(
             server_mesh_factor=config.server_mesh_factor,
         )
 
-    per_algorithm: Dict[str, List[RunObservation]] = {name: [] for name in algorithms}
-    for run_index in range(num_runs):
-        scenario_rng, eval_rng = spawn_generators(run_rngs[run_index], 2)
-        scenario = build_scenario(
-            config,
-            seed=scenario_rng,
-            topology=shared_topology,
-            delay_model=shared_delay_model,
-        )
-        observations = evaluate_algorithms(
-            scenario,
-            algorithms,
-            seed=eval_rng,
+    tasks = [
+        _RunTask(
+            config=config,
+            algorithms=tuple(algorithms),
+            rng=run_rngs[run_index],
             estimator=estimator,
             delay_bound_ms=delay_bound_ms,
             collect_delays=collect_delays,
+            topology=shared_topology,
+            delay_model=shared_delay_model,
         )
+        for run_index in range(num_runs)
+    ]
+
+    per_algorithm: Dict[str, List[RunObservation]] = {name: [] for name in algorithms}
+    for observations in ordered_map(_execute_run, tasks, workers=workers):
         for name in algorithms:
             per_algorithm[name].append(observations[name])
 

@@ -68,7 +68,8 @@ class Table1Result:
                 else:
                     row.append("-")
             if "optimal" in paper_pqos:
-                row.append(f"{paper_pqos['optimal']:.2f} ({paper_util.get('optimal', float('nan')):.2f})")
+                opt_util = paper_util.get("optimal", float("nan"))
+                row.append(f"{paper_pqos['optimal']:.2f} ({opt_util:.2f})")
             else:
                 row.append("-")
             rows.append(row)
@@ -84,6 +85,7 @@ def run_table1(
     optimal_labels: Sequence[str] = PAPER_SMALL_LABELS,
     correlation: float = 0.5,
     share_topology: bool = False,
+    workers: Optional[int] = None,
 ) -> Table1Result:
     """Run the Table 1 experiment.
 
@@ -102,6 +104,9 @@ def run_table1(
         Physical↔virtual correlation (paper default 0.5).
     share_topology:
         Reuse one topology sample across runs of a configuration (faster).
+    workers:
+        Worker processes for the replication engine (see
+        :func:`~repro.experiments.runner.run_replications`).
     """
     algorithms = list(algorithms or _DEFAULT_ALGORITHMS)
     results: Dict[str, ReplicatedResult] = {}
@@ -118,6 +123,7 @@ def run_table1(
             num_runs=num_runs,
             seed=seed,
             share_topology=share_topology,
+            workers=workers,
         )
     return Table1Result(results=results, algorithms=algorithms, optimal_labels=used_optimal)
 

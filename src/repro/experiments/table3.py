@@ -20,6 +20,7 @@ from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER, PAPER_TABLE3_PQOS
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, aggregate
+from repro.utils.pool import ordered_map
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import build_scenario
 
@@ -64,6 +65,19 @@ class Table3Result:
         return rows
 
 
+def _execute_churn_run(task) -> List[EpochRecord]:
+    """One dynamics run (worker-side entry point; must be picklable)."""
+    import repro.baselines  # noqa: F401 — repopulate the registry under spawn
+
+    config, algorithms, churn, rng = task
+    scenario_rng, sim_rng = spawn_generators(rng, 2)
+    scenario = build_scenario(config, seed=scenario_rng)
+    simulator = ChurnSimulator(
+        scenario=scenario, algorithms=list(algorithms), churn_spec=churn, seed=sim_rng
+    )
+    return list(simulator.run(num_epochs=1))
+
+
 def run_table3(
     label: str = PAPER_DEFAULT_LABEL,
     algorithms: Optional[Sequence[str]] = None,
@@ -71,12 +85,15 @@ def run_table3(
     seed: SeedLike = 0,
     churn: ChurnSpec | None = None,
     correlation: float = 0.0,
+    workers: Optional[int] = None,
 ) -> Table3Result:
     """Run the dynamics experiment of Table 3.
 
     Every run builds a fresh scenario (new topology / placements), runs one
     churn epoch for every algorithm, and records the three measurement points;
-    results are averaged over runs.
+    results are averaged over runs.  Runs are independent, so ``workers``
+    distributes them over a process pool exactly as in
+    :func:`~repro.experiments.runner.run_replications`.
     """
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
     churn = churn or ChurnSpec()
@@ -84,14 +101,10 @@ def run_table3(
     rng = as_generator(seed)
     run_rngs = spawn_generators(rng, num_runs)
 
+    tasks = [(config, tuple(algorithms), churn, run_rngs[i]) for i in range(num_runs)]
     records: Dict[str, List[EpochRecord]] = {name: [] for name in algorithms}
-    for run_index in range(num_runs):
-        scenario_rng, sim_rng = spawn_generators(run_rngs[run_index], 2)
-        scenario = build_scenario(config, seed=scenario_rng)
-        simulator = ChurnSimulator(
-            scenario=scenario, algorithms=algorithms, churn_spec=churn, seed=sim_rng
-        )
-        for record in simulator.run(num_epochs=1):
+    for run_records in ordered_map(_execute_churn_run, tasks, workers=workers):
+        for record in run_records:
             records[record.algorithm].append(record)
 
     return Table3Result(

@@ -76,6 +76,7 @@ def run_table4(
     seed: SeedLike = 0,
     correlation: float = 0.5,
     share_topology: bool = True,
+    workers: Optional[int] = None,
 ) -> Table4Result:
     """Run the imperfect-input-data experiment of Table 4."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -90,6 +91,7 @@ def run_table4(
             seed=seed,
             estimator=estimator,
             share_topology=share_topology,
+            workers=workers,
         )
     return Table4Result(
         label=label,

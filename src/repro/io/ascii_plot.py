@@ -33,7 +33,8 @@ def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None
     if hi <= lo:
         return _SPARK_LEVELS[-1] * data.size
     scaled = (data - lo) / (hi - lo)
-    indices = np.clip((scaled * (len(_SPARK_LEVELS) - 1)).round().astype(int), 0, len(_SPARK_LEVELS) - 1)
+    top = len(_SPARK_LEVELS) - 1
+    indices = np.clip((scaled * top).round().astype(int), 0, top)
     return "".join(_SPARK_LEVELS[i] for i in indices)
 
 
@@ -135,7 +136,11 @@ def line_chart(
     return "\n".join(lines)
 
 
-def cdf_chart(cdfs: Dict[str, "EmpiricalCDF"], title: str | None = None, **kwargs) -> str:  # noqa: F821
+def cdf_chart(
+    cdfs: Dict[str, "EmpiricalCDF"],  # noqa: F821
+    title: str | None = None,
+    **kwargs,
+) -> str:
     """Plot named :class:`~repro.metrics.cdf.EmpiricalCDF` objects sharing a grid."""
     if not cdfs:
         raise ValueError("at least one CDF is required")

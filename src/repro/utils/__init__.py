@@ -5,6 +5,7 @@ subpackage (topology, world, core, experiments) can rely on them without
 import cycles.
 """
 
+from repro.utils.pool import available_cpus, ordered_map, resolve_workers, run_ordered
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
 from repro.utils.validation import (
     check_positive,
@@ -16,6 +17,10 @@ from repro.utils.validation import (
 from repro.utils.timing import Timer
 
 __all__ = [
+    "available_cpus",
+    "ordered_map",
+    "resolve_workers",
+    "run_ordered",
     "as_generator",
     "spawn_generators",
     "derive_seed",

@@ -11,7 +11,7 @@ the streams are statistically independent and fully reproducible.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -71,3 +71,65 @@ class TestRefineAssignment:
         np.testing.assert_array_equal(
             result.assignment.contact_of_client, start.contact_of_client
         )
+
+    def test_unknown_backend_rejected(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        with pytest.raises(ValueError):
+            refine_assignment(tiny_instance, start, backend="quantum")
+
+
+def _assert_backends_agree(instance, start, **kwargs):
+    loop = refine_assignment(instance, start, backend="loop", **kwargs)
+    vector = refine_assignment(instance, start, backend="vectorized", **kwargs)
+    assert loop.iterations == vector.iterations
+    np.testing.assert_array_equal(
+        loop.assignment.zone_to_server, vector.assignment.zone_to_server
+    )
+    np.testing.assert_array_equal(
+        loop.assignment.contact_of_client, vector.assignment.contact_of_client
+    )
+    assert loop.final_pqos == pytest.approx(vector.final_pqos)
+    return loop, vector
+
+
+class TestVectorizedLoopEquivalence:
+    """The vectorized backend replays the loop backend's move decisions."""
+
+    def test_bad_start_tiny_instance(self, tiny_instance):
+        _assert_backends_agree(tiny_instance, _bad_assignment(tiny_instance))
+
+    def test_tight_capacities(self, tight_instance):
+        _assert_backends_agree(tight_instance, _bad_assignment(tight_instance))
+
+    def test_overloaded_instance(self, overloaded_instance):
+        _assert_backends_agree(overloaded_instance, _bad_assignment(overloaded_instance))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"consider_contact_moves": False},
+        {"consider_zone_moves": False},
+        {"max_iterations": 1},
+        {"max_iterations": 3},
+    ])
+    def test_restricted_neighbourhoods(self, tiny_instance, kwargs):
+        _assert_backends_agree(tiny_instance, _bad_assignment(tiny_instance), **kwargs)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("algorithm", ["ranz-virc", "grez-grec"])
+    def test_generated_scenarios(self, seed, algorithm):
+        from repro.core.problem import CAPInstance
+        from repro.world.scenario import build_scenario
+        from tests.conftest import make_small_config
+
+        config = make_small_config(num_clients=100, num_zones=8)
+        instance = CAPInstance.from_scenario(build_scenario(config, seed=seed))
+        start = solve_cap(instance, algorithm, seed=seed)
+        _assert_backends_agree(instance, start, max_iterations=30)
+
+    def test_default_backend_is_vectorized(self, tiny_instance):
+        start = _bad_assignment(tiny_instance)
+        default = refine_assignment(tiny_instance, start)
+        vector = refine_assignment(tiny_instance, start, backend="vectorized")
+        np.testing.assert_array_equal(
+            default.assignment.contact_of_client, vector.assignment.contact_of_client
+        )
+        assert default.iterations == vector.iterations

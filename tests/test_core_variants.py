@@ -70,7 +70,9 @@ class TestBestFitZones:
         result = assign_zones_best_fit(instance)
         assert validate_assignment(
             instance,
-            __import__("repro.core.virc", fromlist=["assign_contacts_virtual"]).assign_contacts_virtual(
+            __import__(
+                "repro.core.virc", fromlist=["assign_contacts_virtual"]
+            ).assign_contacts_virtual(
                 instance, result
             ),
         ).ok

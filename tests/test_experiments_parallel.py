@@ -1,0 +1,127 @@
+"""Determinism contract of the parallel replication engine.
+
+The headline guarantee: for the same seed, ``run_replications`` produces
+bit-identical per-run observations no matter how many worker processes
+execute the runs (only ``runtime_seconds``, a wall-clock measurement, is
+exempt).  The same holds for the dynamics experiment's per-run loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.baselines  # noqa: F401
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.experiments.table3 import run_table3
+from repro.measurement.estimators import idmaps_estimator
+from tests.conftest import make_small_config
+
+ALGORITHMS = ["ranz-virc", "grez-grec"]
+
+
+def _assert_identical_observations(a: ReplicatedResult, b: ReplicatedResult) -> None:
+    assert a.algorithms() == b.algorithms()
+    for name in a.algorithms():
+        obs_a, obs_b = a.observations[name], b.observations[name]
+        assert len(obs_a) == len(obs_b) == a.num_runs
+        for run_a, run_b in zip(obs_a, obs_b):
+            assert run_a.pqos == run_b.pqos
+            assert run_a.utilization == run_b.utilization
+            assert run_a.capacity_exceeded == run_b.capacity_exceeded
+            if run_a.delays is None:
+                assert run_b.delays is None
+            else:
+                np.testing.assert_array_equal(run_a.delays, run_b.delays)
+
+
+class TestParallelDeterminism:
+    def test_workers_4_bit_identical_to_serial(self):
+        config = make_small_config(num_clients=60, num_zones=6)
+        kwargs = dict(
+            num_runs=4, seed=11, collect_delays=True, keep_observations=True
+        )
+        serial = run_replications(config, ALGORITHMS, workers=1, **kwargs)
+        parallel = run_replications(config, ALGORITHMS, workers=4, **kwargs)
+        _assert_identical_observations(serial, parallel)
+        for name in ALGORITHMS:
+            assert serial.pqos(name) == parallel.pqos(name)
+            assert serial.utilization(name) == parallel.utilization(name)
+
+    def test_workers_auto_matches_serial(self):
+        config = make_small_config(num_clients=50, num_zones=5)
+        serial = run_replications(
+            config, ["grez-grec"], num_runs=3, seed=4, keep_observations=True
+        )
+        auto = run_replications(
+            config, ["grez-grec"], num_runs=3, seed=4, keep_observations=True, workers=0
+        )
+        _assert_identical_observations(serial, auto)
+
+    def test_estimator_and_shared_topology_survive_pickling(self):
+        config = make_small_config(num_clients=50, num_zones=5)
+        kwargs = dict(
+            num_runs=3,
+            seed=2,
+            estimator=idmaps_estimator(),
+            share_topology=True,
+            keep_observations=True,
+        )
+        serial = run_replications(config, ["grez-grec"], **kwargs)
+        parallel = run_replications(config, ["grez-grec"], workers=3, **kwargs)
+        _assert_identical_observations(serial, parallel)
+
+    def test_cdf_aggregation_identical(self):
+        config = make_small_config(num_clients=50, num_zones=5)
+        grid = np.linspace(0, 500, 11)
+        serial = run_replications(
+            config, ["grez-grec"], num_runs=2, seed=0, collect_delays=True, cdf_grid=grid
+        )
+        parallel = run_replications(
+            config,
+            ["grez-grec"],
+            num_runs=2,
+            seed=0,
+            collect_delays=True,
+            cdf_grid=grid,
+            workers=2,
+        )
+        np.testing.assert_array_equal(
+            serial.summaries["grez-grec"].delay_cdf.values,
+            parallel.summaries["grez-grec"].delay_cdf.values,
+        )
+
+    def test_negative_workers_rejected(self):
+        config = make_small_config(num_clients=40, num_zones=4)
+        with pytest.raises(ValueError):
+            run_replications(config, ["grez-grec"], num_runs=2, seed=0, workers=-2)
+
+    def test_table3_parallel_matches_serial(self):
+        serial = run_table3(label="5s-15z-200c-100cp", num_runs=2, seed=3)
+        parallel = run_table3(label="5s-15z-200c-100cp", num_runs=2, seed=3, workers=2)
+        for name in serial.algorithms:
+            assert serial.before[name].mean == parallel.before[name].mean
+            assert serial.after[name].mean == parallel.after[name].mean
+            assert serial.executed[name].mean == parallel.executed[name].mean
+            assert serial.incremental[name].mean == parallel.incremental[name].mean
+
+
+class TestExperimentConfig:
+    def test_run_kwargs_includes_workers_when_set(self):
+        cfg = ExperimentConfig(num_runs=5, seed=7, workers=4)
+        assert cfg.run_kwargs() == {"num_runs": 5, "seed": 7, "workers": 4}
+
+    def test_run_kwargs_omits_unset_workers(self):
+        cfg = ExperimentConfig(num_runs=5, seed=7)
+        assert cfg.run_kwargs() == {"num_runs": 5, "seed": 7}
+
+    def test_run_kwargs_omits_unsupported_workers(self):
+        cfg = ExperimentConfig(num_runs=5, seed=7, workers=4)
+        assert cfg.run_kwargs(supports_workers=False) == {"num_runs": 5, "seed": 7}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_runs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(workers=-1)

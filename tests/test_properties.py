@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.assignment import Assignment, server_loads
+from repro.core.assignment import server_loads
 from repro.core.costs import delays_to_targets, initial_cost_matrix, refined_cost_matrix
 from repro.core.problem import CAPInstance
 from repro.core.regret import max_regret_assign, regret_order
@@ -243,7 +243,10 @@ class TestSubstrateInvariants:
         leavers = rng.choice(num_clients, size=num_leaves, replace=False)
         stayers = np.setdiff1d(np.arange(num_clients), leavers)
         num_moves = int(rng.integers(0, stayers.size + 1)) if stayers.size else 0
-        movers = rng.choice(stayers, size=num_moves, replace=False) if num_moves else np.array([], dtype=int)
+        if num_moves:
+            movers = rng.choice(stayers, size=num_moves, replace=False)
+        else:
+            movers = np.array([], dtype=int)
         batch = ChurnBatch(
             join_nodes=rng.integers(0, 100, size=num_joins),
             join_zones=rng.integers(0, 5, size=num_joins),

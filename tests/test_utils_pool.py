@@ -1,0 +1,69 @@
+"""Tests for repro.utils.pool — worker resolution and ordered process mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.pool import (
+    available_cpus,
+    default_chunksize,
+    ordered_map,
+    resolve_workers,
+    run_ordered,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level so it is picklable by the process pool."""
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0) == available_cpus()
+
+    def test_explicit_count(self):
+        assert resolve_workers(3) == 3
+
+    def test_capped_by_num_tasks(self):
+        assert resolve_workers(8, num_tasks=2) == 2
+        assert resolve_workers(8, num_tasks=100) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_at_least_one(self):
+        assert resolve_workers(0, num_tasks=0) == 1
+
+
+class TestDefaultChunksize:
+    def test_at_least_one(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(3, 4) == 1
+
+    def test_roughly_four_chunks_per_worker(self):
+        assert default_chunksize(64, 4) == 4
+
+
+class TestOrderedMap:
+    def test_serial_preserves_order(self):
+        assert list(ordered_map(_square, range(10))) == [x * x for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        assert list(ordered_map(_square, range(10), workers=3)) == [x * x for x in range(10)]
+
+    def test_parallel_matches_serial(self):
+        serial = run_ordered(_square, range(25))
+        parallel = run_ordered(_square, range(25), workers=4)
+        assert serial == parallel
+
+    def test_empty(self):
+        assert run_ordered(_square, [], workers=4) == []
+
+    def test_single_task_stays_in_process(self):
+        assert run_ordered(_square, [7], workers=4) == [49]
