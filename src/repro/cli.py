@@ -1,29 +1,38 @@
 """Command-line interface: run experiments, solve single scenarios, inspect configs.
 
 Installed as the ``repro-dve`` console script (see ``pyproject.toml``) and
-runnable as ``python -m repro``.  Three sub-commands:
+runnable as ``python -m repro``.  Four sub-commands:
 
 * ``repro-dve list`` — list the available experiments and solvers.
 * ``repro-dve solve`` — build one scenario and solve it with one or more
   algorithms, printing pQoS / utilisation / runtime per algorithm.
 * ``repro-dve experiment <id>`` — run a paper table / figure (or extension)
   and print the formatted result, optionally dumping it to JSON/CSV.
+* ``repro-dve simulate`` — longitudinal churn simulation: stream epoch
+  records through a repair-policy schedule (optionally to CSV) and print a
+  streaming summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import repro.baselines  # noqa: F401  (registers the baseline solvers)
 from repro import __version__
 from repro.core import CAPInstance
 from repro.core.registry import solve as registry_solve, solver_names
+from repro.dynamics.churn import ChurnSpec
+from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
+from repro.dynamics.policies import POLICY_NAMES, make_policy
 from repro.experiments.config import ExperimentConfig, config_from_label, PAPER_DEFAULT_LABEL
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
+from repro.io.csvout import CsvAppender
 from repro.io.tables import format_kv, format_table
-from repro.metrics import qos_report, resource_report
+from repro.metrics import GroupedRunningStats, qos_report, resource_report
+from repro.utils.pool import ordered_map
+from repro.utils.rng import as_generator, spawn_generators
 from repro.world import build_scenario
 
 __all__ = ["main", "build_parser"]
@@ -94,6 +103,64 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    # simulate ---------------------------------------------------------------
+    sim = sub.add_parser(
+        "simulate",
+        help="longitudinal churn simulation: many epochs under a repair policy",
+    )
+    sim.add_argument(
+        "--config",
+        default=PAPER_DEFAULT_LABEL,
+        help="DVE configuration label, e.g. 20s-80z-1000c-500cp",
+    )
+    sim.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["grez-grec"],
+        help="solver names to track across epochs (see 'repro-dve list')",
+    )
+    sim.add_argument("--epochs", type=int, default=10, help="number of churn epochs")
+    sim.add_argument(
+        "--policy",
+        default="reexecute",
+        choices=sorted(POLICY_NAMES),
+        help="per-epoch repair action schedule",
+    )
+    sim.add_argument(
+        "--period",
+        type=int,
+        default=0,
+        help="re-execution period for --policy every_k_epochs",
+    )
+    sim.add_argument(
+        "--backend",
+        default="delta",
+        choices=BACKENDS,
+        help="world-advance backend (delta updates vs full rebuild; identical records)",
+    )
+    sim.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    sim.add_argument(
+        "--runs", type=int, default=1, help="independent replications to aggregate over"
+    )
+    sim.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=None,
+        help="worker processes when --runs > 1 (default: serial; 0 = one per CPU)",
+    )
+    sim.add_argument("--joins", type=int, default=200, help="clients joining per epoch")
+    sim.add_argument("--leaves", type=int, default=200, help="clients leaving per epoch")
+    sim.add_argument("--moves", type=int, default=200, help="clients moving zones per epoch")
+    sim.add_argument(
+        "--correlation", type=float, default=0.0, help="physical-virtual correlation delta"
+    )
+    sim.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="stream every epoch record to this CSV file as it is produced",
+    )
+
     return parser
 
 
@@ -142,6 +209,150 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execute_simulate_run(task) -> List[EpochRecord]:
+    """One replication of the simulate command (worker-side; must be picklable)."""
+    import repro.baselines  # noqa: F401 — repopulate the registry under spawn
+
+    config, algorithms, churn, num_epochs, policy, period, backend, rng = task
+    scenario_rng, sim_rng = spawn_generators(rng, 2)
+    scenario = build_scenario(config, seed=scenario_rng)
+    simulator = ChurnSimulator(
+        scenario=scenario,
+        algorithms=list(algorithms),
+        churn_spec=churn,
+        seed=sim_rng,
+        policy=policy,
+        policy_period=period,
+        backend=backend,
+    )
+    return simulator.run(num_epochs)
+
+
+def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, EpochRecord]]:
+    """Yield ``(run_index, record)`` pairs, streaming whenever possible.
+
+    A single serial run streams straight from the engine's generator (O(1)
+    record memory even for thousands of epochs); multi-run invocations fan
+    the replications out over :func:`ordered_map` and stream run by run.
+    """
+    churn = ChurnSpec(num_joins=args.joins, num_leaves=args.leaves, num_moves=args.moves)
+    rng = as_generator(args.seed)
+    run_rngs = spawn_generators(rng, args.runs)
+    if args.runs == 1:
+        scenario_rng, sim_rng = spawn_generators(run_rngs[0], 2)
+        scenario = build_scenario(config, seed=scenario_rng)
+        simulator = ChurnSimulator(
+            scenario=scenario,
+            algorithms=list(args.algorithms),
+            churn_spec=churn,
+            seed=sim_rng,
+            policy=args.policy,
+            policy_period=args.period,
+            backend=args.backend,
+        )
+        for record in simulator.stream(args.epochs):
+            yield 0, record
+        return
+    tasks = [
+        (
+            config,
+            tuple(args.algorithms),
+            churn,
+            args.epochs,
+            args.policy,
+            args.period,
+            args.backend,
+            run_rngs[i],
+        )
+        for i in range(args.runs)
+    ]
+    for run_index, records in enumerate(
+        ordered_map(_execute_simulate_run, tasks, workers=args.workers)
+    ):
+        for record in records:
+            yield run_index, record
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        schedule = make_policy(args.policy, period=args.period or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = config_from_label(args.config, correlation=args.correlation)
+
+    print(
+        format_kv(
+            {
+                "config": config.label,
+                "algorithms": ", ".join(args.algorithms),
+                "epochs": args.epochs,
+                "policy": schedule.name,
+                "backend": args.backend,
+                "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
+                "runs": args.runs,
+                "seed": args.seed,
+            },
+            title="Longitudinal simulation",
+        )
+    )
+    print()
+
+    stats = GroupedRunningStats()
+    num_records = 0
+    final_clients = 0
+
+    def consume(pairs: Iterator[Tuple[int, EpochRecord]]) -> None:
+        nonlocal num_records, final_clients
+        for run_index, record in pairs:
+            if writer is not None:
+                writer.append([run_index, *record.row()])
+            stats.add((record.algorithm, "after"), record.pqos_after)
+            stats.add((record.algorithm, "adopted"), record.pqos_adopted)
+            if record.epoch == args.epochs - 1:
+                stats.add((record.algorithm, "final"), record.pqos_adopted)
+                final_clients = record.num_clients_after
+            num_records += 1
+
+    pairs = _simulate_records(args, config)
+    writer = None
+    if args.csv:
+        with CsvAppender(args.csv, ["run", *EpochRecord.FIELDS]) as writer:
+            consume(pairs)
+    else:
+        consume(pairs)
+
+    rows = [
+        [
+            name,
+            stats.stat((name, "after")).mean,
+            stats.stat((name, "adopted")).mean,
+            stats.stat((name, "final")).mean,
+        ]
+        for name in args.algorithms
+    ]
+    print(
+        format_table(
+            ["algorithm", "stale pQoS (mean)", "adopted pQoS (mean)", "adopted pQoS (final)"],
+            rows,
+            title=(
+                f"Summary over {args.epochs} epochs × {args.runs} run(s); "
+                f"{final_clients} clients at the end"
+            ),
+            float_format=".3f",
+        )
+    )
+    if args.csv:
+        print(f"\n[{num_records} records streamed to {args.csv}]")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
     if args.workers is not None and not spec.supports_workers:
@@ -165,6 +376,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

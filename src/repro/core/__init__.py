@@ -46,7 +46,7 @@ from repro.core.two_phase import (
     available_algorithms,
     solve_cap,
 )
-from repro.core.local_search import LocalSearchResult, refine_assignment
+from repro.core.local_search import LocalSearchResult, refine_assignment, warm_start_refine
 from repro.core.validation import ValidationReport, Violation, validate_assignment
 from repro.core.variants import (
     assign_contacts_first_fit,
@@ -96,6 +96,7 @@ __all__ = [
     "register_variant_solvers",
     "LocalSearchResult",
     "refine_assignment",
+    "warm_start_refine",
     "get_solver",
     "register_solver",
     "solve",

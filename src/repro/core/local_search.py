@@ -39,7 +39,7 @@ from repro.core.costs import delays_to_targets
 from repro.core.problem import CAPInstance
 from repro.utils.timing import Timer
 
-__all__ = ["LocalSearchResult", "refine_assignment"]
+__all__ = ["LocalSearchResult", "refine_assignment", "warm_start_refine"]
 
 #: Capacity slack used by every feasibility check (matches the heuristics).
 _CAP_EPS = 1e-9
@@ -383,6 +383,288 @@ def _refine_vectorized(
             contacts[index] = server
         iterations += 1
     return iterations
+
+
+# --------------------------------------------------------------------------- #
+# Incremental backend — warm-start refinement with maintained accumulators.
+# --------------------------------------------------------------------------- #
+def _refine_incremental(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    max_iterations: int,
+    consider_zone_moves: bool,
+    consider_contact_moves: bool,
+) -> int:
+    """Hill climber that maintains delays and loads across applied moves.
+
+    Same move selection as :func:`_refine_vectorized` (it reuses the same
+    neighbourhood scanners), but the per-client delay vector and the
+    per-server load accumulator are updated in place after each applied move
+    instead of being recomputed from the full assignment every iteration.
+    After a small churn batch only a few clients sit over the bound, so one
+    iteration costs ~O(over-bound clients × servers) instead of O(clients).
+    """
+    zones_of = instance.client_zones
+    bound = instance.delay_bound
+    csd = instance.client_server_delays
+    ssd = instance.server_server_delays
+
+    # Seeded once; maintained incrementally from here on.
+    delays = delays_to_targets(instance, zone_to_server, contacts)
+    loads = server_loads(instance, zone_to_server, contacts)
+    targets = zone_to_server[zones_of]
+
+    within_matrix = excess_matrix = zone_sizes = zone_demands = None
+    if consider_zone_moves:
+        num_zones = instance.num_zones
+        within_matrix = np.zeros((num_zones, instance.num_servers), dtype=np.float64)
+        excess_matrix = np.zeros_like(within_matrix)
+        if instance.num_clients:
+            direct = csd + np.diag(ssd)[None, :]
+            np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
+            np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
+        zone_sizes = np.bincount(zones_of, minlength=num_zones)
+        zone_demands = instance.zone_demands()
+
+    iterations = 0
+    for _ in range(max_iterations):
+        within = delays <= bound
+        excess_vec = np.maximum(delays - bound, 0.0)
+        qos_count = int(within.sum())
+        excess_total = float(excess_vec.sum())
+
+        best = None  # (qos, excess, kind, index, server)
+        if consider_zone_moves:
+            move = _best_zone_move(
+                instance,
+                zone_to_server,
+                contacts,
+                loads,
+                within,
+                excess_vec,
+                qos_count,
+                excess_total,
+                within_matrix,
+                excess_matrix,
+                zone_sizes,
+            )
+            if move is not None:
+                best = (move[0], move[1], "zone", move[2], move[3])
+        if consider_contact_moves:
+            move = _best_contact_move(
+                instance,
+                zone_to_server,
+                contacts,
+                loads,
+                delays,
+                excess_vec,
+                qos_count,
+                excess_total,
+                incumbent=None if best is None else (best[0], best[1]),
+            )
+            if move is not None:
+                best = (move[0], move[1], "contact", move[2], move[3])
+
+        if best is None:
+            break
+        _, _, kind, index, server = best
+        if kind == "zone":
+            members = np.flatnonzero(zones_of == index)
+            old_server = int(zone_to_server[index])
+            forwarded = members[contacts[members] != old_server]
+            if forwarded.size:
+                np.subtract.at(loads, contacts[forwarded], 2.0 * instance.client_demands[forwarded])
+            loads[old_server] -= zone_demands[index]
+            loads[server] += zone_demands[index]
+            zone_to_server[index] = server
+            contacts[members] = server
+            targets[members] = server
+            delays[members] = csd[members, server] + ssd[server, server]
+        else:
+            target = int(targets[index])
+            demand = 2.0 * instance.client_demands[index]
+            if int(contacts[index]) != target:
+                loads[int(contacts[index])] -= demand
+            if server != target:
+                loads[server] += demand
+            contacts[index] = server
+            delays[index] = csd[index, server] + ssd[server, target]
+        iterations += 1
+    return iterations
+
+
+def _repair_contacts_sweep(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    max_iterations: int,
+    max_sweeps: int = 50,
+) -> int:
+    """Batched contact repair: apply a whole sweep of improving moves at once.
+
+    Each sweep picks, for every over-bound client, its best *strictly
+    improving* contact server that had room at the start of the sweep, then
+    resolves capacity contention per destination server with a prefix sum in
+    client order (later claimants that would overflow wait for the next
+    sweep, when the loads they freed elsewhere are also visible).  Sweeps
+    repeat until one applies nothing.  Unlike the best-first backends this
+    does not pick the globally best move per round — it trades that for
+    O(sweeps) vectorised scans instead of O(moves), which is what makes the
+    per-epoch repair cost of a longitudinal simulation proportional to the
+    churn, not to the population.  The objective still never worsens: every
+    applied move strictly reduces its client's delay.
+    """
+    zones_of = instance.client_zones
+    bound = instance.delay_bound
+    csd = instance.client_server_delays
+    ssd = instance.server_server_delays
+    capacities = instance.server_capacities
+    num_servers = instance.num_servers
+
+    delays = delays_to_targets(instance, zone_to_server, contacts)
+    loads = server_loads(instance, zone_to_server, contacts)
+    targets = zone_to_server[zones_of]
+
+    applied_total = 0
+    for _ in range(max_sweeps):
+        if applied_total >= max_iterations:
+            break
+        over = np.flatnonzero(delays > bound)
+        if over.size == 0:
+            break
+        over_targets = targets[over]
+        demand2 = 2.0 * instance.client_demands[over]
+        options = csd[over] + ssd.T[over_targets]  # (over, m); column == server id
+        # A candidate must strictly improve the client's delay and (unless it
+        # is the target itself, which adds no load) fit the forwarding
+        # overhead into the load as of the start of the sweep.
+        is_target = np.arange(num_servers)[None, :] == over_targets[:, None]
+        fits = is_target | (
+            loads[None, :] + demand2[:, None] <= capacities[None, :] + _CAP_EPS
+        )
+        candidate = fits & (options < delays[over, None])
+        has_move = candidate.any(axis=1)
+        if not has_move.any():
+            break
+        rows = np.flatnonzero(has_move)
+        masked = np.where(candidate[rows], options[rows], np.inf)
+        chosen = masked.argmin(axis=1)
+        new_delay = masked[np.arange(rows.size), chosen]
+
+        # Contention resolution: clients claiming forwarding capacity on the
+        # same server are admitted in client order while their cumulative
+        # demand still fits; targets-as-contacts (zero extra load) always fit.
+        claim = np.where(chosen == over_targets[rows], 0.0, demand2[rows])
+        order = np.argsort(chosen, kind="stable")
+        sorted_srv = chosen[order]
+        sorted_claim = claim[order]
+        csum = np.cumsum(sorted_claim)
+        group_first = np.r_[True, sorted_srv[1:] != sorted_srv[:-1]]
+        group_base = np.maximum.accumulate(np.where(group_first, csum - sorted_claim, 0.0))
+        within_group = csum - group_base
+        admitted_sorted = (sorted_claim == 0.0) | (
+            loads[sorted_srv] + within_group <= capacities[sorted_srv] + _CAP_EPS
+        )
+        admitted = order[admitted_sorted]
+        if admitted.size == 0:
+            break
+        if applied_total + admitted.size > max_iterations:
+            admitted = admitted[: max_iterations - applied_total]
+
+        moved_rows = rows[admitted]
+        moved_clients = over[moved_rows]
+        moved_to = chosen[admitted]
+        old_contacts = contacts[moved_clients]
+        was_forwarded = old_contacts != over_targets[moved_rows]
+        if was_forwarded.any():
+            np.subtract.at(
+                loads, old_contacts[was_forwarded], demand2[moved_rows][was_forwarded]
+            )
+        now_forwarded = moved_to != over_targets[moved_rows]
+        if now_forwarded.any():
+            np.add.at(loads, moved_to[now_forwarded], demand2[moved_rows][now_forwarded])
+        contacts[moved_clients] = moved_to
+        delays[moved_clients] = new_delay[admitted]
+        applied_total += int(admitted.size)
+    return applied_total
+
+
+_WARM_START_MODES = ("best", "sweep")
+
+
+def warm_start_refine(
+    instance: CAPInstance,
+    assignment: Assignment,
+    max_iterations: int = 200,
+    consider_zone_moves: bool = False,
+    consider_contact_moves: bool = True,
+    mode: str = "best",
+) -> LocalSearchResult:
+    """Warm-start refinement: repair a carried-over assignment after churn.
+
+    Seeds the hill climber with the given assignment (typically the pre-churn
+    assignment carried over to the post-churn instance) and maintains
+    per-server load and per-client delay accumulators across moves instead of
+    recomputing them every sweep.  With small churn only the handful of
+    clients pushed over the bound are scanned, so the repair costs roughly
+    O(changed clients × servers) — the cheap alternative to re-executing the
+    two-phase algorithm from scratch.
+
+    ``mode="best"`` applies the globally best improving move per round with
+    exactly the :func:`refine_assignment` move-acceptance semantics (the two
+    produce identical assignments from the same start).  ``mode="sweep"``
+    batches a whole sweep of per-client improving moves between scans — the
+    fast path the simulation engine uses, at the cost of a move order that
+    is greedy per client rather than globally best-first.
+
+    Zone moves are off by default (re-hosting a zone is the expensive
+    neighbourhood and rarely pays off for small churn) and are only
+    supported by ``mode="best"``.  ``capacity_exceeded`` on the result is
+    recomputed against the instance rather than inherited, so a repair that
+    ends within capacity clears a stale flag.
+    """
+    if mode not in _WARM_START_MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {_WARM_START_MODES}")
+    if mode == "sweep" and consider_zone_moves:
+        raise ValueError("mode='sweep' repairs contacts only; use mode='best' for zone moves")
+    zone_to_server = assignment.zone_to_server.copy()
+    contacts = assignment.contact_of_client.copy()
+    initial_pqos = assignment.pqos(instance)
+
+    with Timer() as timer:
+        if mode == "sweep":
+            iterations = (
+                _repair_contacts_sweep(instance, zone_to_server, contacts, max_iterations)
+                if consider_contact_moves
+                else 0
+            )
+        else:
+            iterations = _refine_incremental(
+                instance,
+                zone_to_server,
+                contacts,
+                max_iterations,
+                consider_zone_moves,
+                consider_contact_moves,
+            )
+
+    final_loads = server_loads(instance, zone_to_server, contacts)
+    refined = Assignment(
+        zone_to_server=zone_to_server,
+        contact_of_client=contacts,
+        algorithm=f"{assignment.algorithm}+ws",
+        capacity_exceeded=bool((final_loads > instance.server_capacities * (1.0 + 1e-6)).any()),
+        runtime_seconds=assignment.runtime_seconds + timer.elapsed,
+        metadata={**assignment.metadata, "warm_start_iterations": iterations},
+    )
+    return LocalSearchResult(
+        assignment=refined,
+        iterations=iterations,
+        initial_pqos=initial_pqos,
+        final_pqos=refined.pqos(instance),
+        runtime_seconds=timer.elapsed,
+    )
 
 
 _BACKENDS = ("vectorized", "loop")

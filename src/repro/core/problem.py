@@ -100,20 +100,46 @@ class CAPInstance:
         return int(self.client_server_delays.shape[1])
 
     # ------------------------------------------------------------------ #
-    # Derived quantities
+    # Derived quantities (cached — see invalidate_caches)
     # ------------------------------------------------------------------ #
     def zone_demands(self) -> np.ndarray:
-        """Per-zone bandwidth demand ``R(z_j) = sum_{c in z_j} RT(c)`` (bits/s)."""
-        demands = np.zeros(self.num_zones, dtype=np.float64)
-        if self.num_clients:
-            np.add.at(demands, self.client_zones, self.client_demands)
-        return demands
+        """Per-zone bandwidth demand ``R(z_j) = sum_{c in z_j} RT(c)`` (bits/s).
+
+        Computed once and cached (the instance is immutable); the returned
+        array is marked read-only because every caller shares it.
+        """
+        cached = self.__dict__.get("_zone_demands_cache")
+        if cached is None:
+            cached = np.zeros(self.num_zones, dtype=np.float64)
+            if self.num_clients:
+                np.add.at(cached, self.client_zones, self.client_demands)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_zone_demands_cache", cached)
+        return cached
 
     def zone_populations(self) -> np.ndarray:
-        """Number of clients in each zone."""
-        if self.num_clients == 0:
-            return np.zeros(self.num_zones, dtype=np.int64)
-        return np.bincount(self.client_zones, minlength=self.num_zones).astype(np.int64)
+        """Number of clients in each zone (cached, read-only)."""
+        cached = self.__dict__.get("_zone_populations_cache")
+        if cached is None:
+            if self.num_clients == 0:
+                cached = np.zeros(self.num_zones, dtype=np.int64)
+            else:
+                cached = np.bincount(self.client_zones, minlength=self.num_zones).astype(np.int64)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_zone_populations_cache", cached)
+        return cached
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached derived quantities.
+
+        Only needed if the instance's arrays were replaced through
+        ``object.__setattr__`` (the frozen dataclass blocks normal mutation);
+        the supported transformations (:meth:`with_delays`,
+        :meth:`with_delay_bound`, :meth:`apply_delta`) produce *new* instances
+        whose caches start empty.
+        """
+        for key in ("_zone_demands_cache", "_zone_populations_cache"):
+            self.__dict__.pop(key, None)
 
     def clients_of_zone(self, zone: int) -> np.ndarray:
         """Indices of clients whose avatar is in ``zone``."""
@@ -153,6 +179,112 @@ class CAPInstance:
                 scenario.delay_bound_ms if delay_bound is None else delay_bound
             ),
             num_zones=scenario.num_zones,
+        )
+
+    @classmethod
+    def _from_validated_arrays(
+        cls,
+        client_server_delays: np.ndarray,
+        server_server_delays: np.ndarray,
+        client_zones: np.ndarray,
+        client_demands: np.ndarray,
+        server_capacities: np.ndarray,
+        delay_bound: float,
+        num_zones: int,
+    ) -> "CAPInstance":
+        """Construct without re-running ``__post_init__``.
+
+        Internal fast path for :meth:`apply_delta`: the caller guarantees the
+        arrays already have the right dtypes, shapes and value ranges (either
+        carried over from a validated instance or validated as a delta).
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "client_server_delays", client_server_delays)
+        object.__setattr__(instance, "server_server_delays", server_server_delays)
+        object.__setattr__(instance, "client_zones", client_zones)
+        object.__setattr__(instance, "client_demands", client_demands)
+        object.__setattr__(instance, "server_capacities", server_capacities)
+        object.__setattr__(instance, "delay_bound", delay_bound)
+        object.__setattr__(instance, "num_zones", num_zones)
+        return instance
+
+    def apply_delta(
+        self,
+        old_to_new: np.ndarray,
+        join_delays: np.ndarray,
+        client_zones: np.ndarray,
+        client_demands: np.ndarray,
+    ) -> "CAPInstance":
+        """Post-churn instance from a churn delta, validating only the delta.
+
+        Surviving clients' delay rows are sliced out of this instance through
+        ``old_to_new`` (``-1`` marks leavers; survivors keep their original
+        relative order) and the joining clients' rows are appended after them,
+        exactly the layout :func:`repro.dynamics.events.apply_churn` produces.
+        Server-side arrays, the delay bound and the zone count carry over
+        untouched — they were validated when this instance was built, so the
+        only checks here are O(churn × servers) on the appended rows plus
+        cheap O(clients) scans of the new zone / demand vectors (demands can
+        change for every client because they depend on zone crowding).
+
+        Parameters
+        ----------
+        old_to_new:
+            ``(self.num_clients,)`` map from pre-churn to post-churn client
+            index, ``-1`` for clients that left.
+        join_delays:
+            ``(num_joins, num_servers)`` delay rows of the joining clients.
+        client_zones / client_demands:
+            Full post-churn zone and demand vectors.
+        """
+        old_to_new = np.asarray(old_to_new, dtype=np.int64)
+        join_delays = np.atleast_2d(np.asarray(join_delays, dtype=np.float64))
+        client_zones = np.asarray(client_zones, dtype=np.int64)
+        client_demands = np.asarray(client_demands, dtype=np.float64)
+
+        if old_to_new.shape != (self.num_clients,):
+            raise ValueError(
+                f"old_to_new must have shape ({self.num_clients},), got {old_to_new.shape}"
+            )
+        num_joins = 0 if join_delays.size == 0 else join_delays.shape[0]
+        if num_joins and join_delays.shape[1] != self.num_servers:
+            raise ValueError(
+                f"join_delays must have {self.num_servers} columns, got {join_delays.shape[1]}"
+            )
+        if num_joins and (join_delays < 0).any():
+            raise ValueError("delays must be non-negative")
+
+        survivors_old = np.flatnonzero(old_to_new >= 0)
+        num_new = survivors_old.size + num_joins
+        if client_zones.shape != (num_new,):
+            raise ValueError(f"client_zones must have shape ({num_new},), got {client_zones.shape}")
+        if client_demands.shape != (num_new,):
+            raise ValueError(
+                f"client_demands must have shape ({num_new},), got {client_demands.shape}"
+            )
+        if client_zones.size and (client_zones.min() < 0 or client_zones.max() >= self.num_zones):
+            raise ValueError("client_zones contains zone ids outside [0, num_zones)")
+        if client_demands.size and (client_demands <= 0).any():
+            raise ValueError("client demands must be strictly positive (RT(c) > 0)")
+        if not np.array_equal(old_to_new[survivors_old], np.arange(survivors_old.size)):
+            raise ValueError(
+                "old_to_new must map survivors to 0..num_survivors-1 in their original "
+                "relative order (the layout apply_churn produces)"
+            )
+
+        delays = np.empty((num_new, self.num_servers), dtype=np.float64)
+        delays[: survivors_old.size] = self.client_server_delays[survivors_old]
+        if num_joins:
+            delays[survivors_old.size:] = join_delays
+
+        return CAPInstance._from_validated_arrays(
+            client_server_delays=delays,
+            server_server_delays=self.server_server_delays,
+            client_zones=client_zones,
+            client_demands=client_demands,
+            server_capacities=self.server_capacities,
+            delay_bound=self.delay_bound,
+            num_zones=self.num_zones,
         )
 
     def with_delays(

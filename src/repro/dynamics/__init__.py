@@ -12,9 +12,17 @@ from repro.dynamics.controller import (
     RebalanceStep,
     RebalanceTrace,
 )
-from repro.dynamics.engine import ChurnSimulator, EpochRecord
+from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord, SimulationState
+from repro.dynamics.policies import (
+    POLICY_ACTIONS,
+    POLICY_NAMES,
+    PolicySchedule,
+    carry_over_assignment,
+    incremental_reassign,
+    make_policy,
+    reassign,
+)
 from repro.dynamics.events import ChurnBatch, ChurnResult, apply_churn
-from repro.dynamics.policies import carry_over_assignment, incremental_reassign, reassign
 
 __all__ = [
     "ChurnSpec",
@@ -25,8 +33,14 @@ __all__ = [
     "carry_over_assignment",
     "incremental_reassign",
     "reassign",
+    "make_policy",
+    "PolicySchedule",
+    "POLICY_ACTIONS",
+    "POLICY_NAMES",
     "ChurnSimulator",
     "EpochRecord",
+    "SimulationState",
+    "BACKENDS",
     "RebalanceController",
     "RebalancePolicy",
     "RebalanceStep",

@@ -81,20 +81,7 @@ def generate_churn(
     move_indices = picked[num_leaves:]
 
     # Destination zones for the movers.
-    move_zones = np.zeros(move_indices.size, dtype=np.int64)
-    current = scenario.population.zones
-    for pos, client in enumerate(move_indices):
-        origin = int(current[client])
-        if spec.adjacent_moves:
-            candidates = scenario.world.neighbors(origin)
-            if not candidates:
-                candidates = [z for z in range(scenario.num_zones) if z != origin]
-        else:
-            candidates = [z for z in range(scenario.num_zones) if z != origin]
-        if candidates:
-            move_zones[pos] = int(move_rng.choice(candidates))
-        else:  # single-zone world: the avatar has nowhere else to go
-            move_zones[pos] = origin
+    move_zones = _sample_move_zones(scenario, spec, move_indices, move_rng)
 
     return ChurnBatch(
         join_nodes=join_nodes,
@@ -103,3 +90,35 @@ def generate_churn(
         move_indices=move_indices,
         move_zones=move_zones,
     )
+
+
+def _sample_move_zones(
+    scenario: DVEScenario,
+    spec: ChurnSpec,
+    move_indices: np.ndarray,
+    move_rng: np.random.Generator,
+) -> np.ndarray:
+    """Destination zone of each mover (uniform over the zones it can reach).
+
+    The default "move to any other zone" model is fully vectorised: one draw
+    from ``[0, num_zones - 1)`` per mover, shifted past the origin so the
+    origin is excluded — drawing destinations for hundreds of movers per
+    epoch used to be the slowest step of churn generation.  The avatar-style
+    ``adjacent_moves`` model keeps the per-mover scan because each origin has
+    its own neighbour list.
+    """
+    num_zones = scenario.num_zones
+    origins = scenario.population.zones[move_indices]
+    if move_indices.size == 0 or num_zones <= 1:
+        return origins.copy()  # single-zone world: the avatar has nowhere else to go
+    if not spec.adjacent_moves:
+        draws = move_rng.integers(0, num_zones - 1, size=move_indices.size)
+        return np.where(draws >= origins, draws + 1, draws)
+    move_zones = np.zeros(move_indices.size, dtype=np.int64)
+    for pos, origin in enumerate(origins):
+        origin = int(origin)
+        candidates = scenario.world.neighbors(origin)
+        if not candidates:
+            candidates = [z for z in range(num_zones) if z != origin]
+        move_zones[pos] = int(move_rng.choice(candidates))
+    return move_zones

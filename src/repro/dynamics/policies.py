@@ -14,13 +14,23 @@ The paper's Table 3 compares three states of the system around a churn batch:
 additional, cheaper policy (not in the paper) that keeps the zone→server map
 and only re-runs the refined phase, exercising the claim that the initial
 phase is the expensive, high-impact one.
+
+For longitudinal runs (many churn epochs), :class:`PolicySchedule` decides
+*which* of the repair actions the simulation engine applies at each epoch:
+always re-execute (the paper's recommendation), always repair incrementally,
+always warm-start the local search from the carried-over assignment, or
+re-execute every ``k`` epochs with cheap repairs in between.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+import re
+from typing import Optional, Union
+
 import numpy as np
 
-from repro.core.assignment import Assignment
+from repro.core.assignment import Assignment, server_loads
 from repro.core.grec import assign_contacts_greedy
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
@@ -28,13 +38,26 @@ from repro.core.assignment import ZoneAssignment
 from repro.dynamics.events import ChurnResult
 from repro.utils.rng import SeedLike
 
-__all__ = ["carry_over_assignment", "reassign", "incremental_reassign"]
+__all__ = [
+    "carry_over_assignment",
+    "reassign",
+    "incremental_reassign",
+    "PolicySchedule",
+    "make_policy",
+    "POLICY_ACTIONS",
+    "POLICY_NAMES",
+]
+
+#: Capacity tolerance used when auditing a carried-over assignment (matches
+#: :meth:`repro.core.assignment.Assignment.is_capacity_feasible`).
+_CAP_TOLERANCE = 1e-6
 
 
 def carry_over_assignment(
     old_assignment: Assignment,
     churn: ChurnResult,
     new_instance: CAPInstance,
+    out: Optional[np.ndarray] = None,
 ) -> Assignment:
     """Evaluate-ready version of an old assignment on the post-churn population.
 
@@ -42,9 +65,21 @@ def carry_over_assignment(
     * Surviving clients keep their previous contact server.
     * Newly joined clients connect directly to the server hosting their zone
       (the natural default before any reassignment runs).
+    * ``capacity_exceeded`` is recomputed against ``new_instance`` — churn
+      changes every zone's demand, so the pre-churn flag says nothing about
+      the post-churn loads.
+
+    ``out`` optionally supplies a preallocated int64 buffer of at least
+    ``new_instance.num_clients`` entries for the contact array; the returned
+    assignment then aliases that buffer, so it must not be reused while the
+    assignment is still needed (the simulation engine recycles one scratch
+    buffer across transient carry-overs).
     """
     new_num_clients = churn.population.num_clients
-    contacts = np.empty(new_num_clients, dtype=np.int64)
+    if out is not None and out.dtype == np.int64 and out.shape[0] >= new_num_clients:
+        contacts = out[:new_num_clients]
+    else:
+        contacts = np.empty(new_num_clients, dtype=np.int64)
 
     survivors_old = np.flatnonzero(churn.old_to_new >= 0)
     contacts[churn.old_to_new[survivors_old]] = old_assignment.contact_of_client[survivors_old]
@@ -52,11 +87,15 @@ def carry_over_assignment(
     targets_new = old_assignment.zone_to_server[new_instance.client_zones]
     contacts[churn.new_client_indices] = targets_new[churn.new_client_indices]
 
+    loads = server_loads(new_instance, old_assignment.zone_to_server, contacts)
+    capacity_exceeded = bool(
+        (loads > new_instance.server_capacities * (1.0 + _CAP_TOLERANCE)).any()
+    )
     return Assignment(
         zone_to_server=old_assignment.zone_to_server,
         contact_of_client=contacts,
         algorithm=f"{old_assignment.algorithm} (carried over)",
-        capacity_exceeded=old_assignment.capacity_exceeded,
+        capacity_exceeded=capacity_exceeded,
         runtime_seconds=0.0,
     )
 
@@ -87,3 +126,74 @@ def incremental_reassign(
     )
     refined = assign_contacts_greedy(new_instance, zones)
     return refined.with_algorithm(f"{old_assignment.algorithm} (incremental)")
+
+
+# --------------------------------------------------------------------------- #
+# Policy schedules for longitudinal simulation
+# --------------------------------------------------------------------------- #
+
+#: The per-epoch repair actions a schedule can yield.
+POLICY_ACTIONS = ("reexecute", "incremental", "warm_start")
+
+#: User-facing policy names accepted by :func:`make_policy` (and the CLI).
+POLICY_NAMES = POLICY_ACTIONS + ("every_k_epochs",)
+
+_EVERY_K_RE = re.compile(r"^every_(\d+)_epochs$")
+
+
+@dataclass(frozen=True)
+class PolicySchedule:
+    """Maps an epoch index to the repair action the engine should apply.
+
+    ``period == 0`` means "apply ``action`` every epoch".  With a positive
+    ``period`` the schedule re-executes the full algorithm on every
+    ``period``-th epoch and applies ``action`` in between — the classic
+    operator trade-off of scheduled rebalances with cheap repairs between
+    them.
+    """
+
+    name: str
+    action: str
+    period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in POLICY_ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}; expected one of {POLICY_ACTIONS}")
+        if self.period < 0:
+            raise ValueError("period must be >= 0")
+
+    def action_for_epoch(self, epoch: int) -> str:
+        """The action to apply at ``epoch`` (0-based)."""
+        if self.period > 0 and (epoch + 1) % self.period == 0:
+            return "reexecute"
+        return self.action
+
+
+def make_policy(
+    policy: Union[str, PolicySchedule],
+    period: Optional[int] = None,
+) -> PolicySchedule:
+    """Normalise a policy name (or an existing schedule) into a schedule.
+
+    Accepted names: ``"reexecute"``, ``"incremental"``, ``"warm_start"``,
+    ``"every_k_epochs"`` (period taken from the ``period`` argument) and the
+    literal spelling ``"every_<k>_epochs"`` (e.g. ``"every_5_epochs"``).
+    ``every_k_epochs`` re-executes on each k-th epoch and repairs
+    incrementally in between.
+    """
+    if isinstance(policy, PolicySchedule):
+        return policy
+    name = str(policy).strip().lower()
+    if name in POLICY_ACTIONS:
+        return PolicySchedule(name=name, action=name)
+    match = _EVERY_K_RE.match(name)
+    if match:
+        period = int(match.group(1))
+    if name == "every_k_epochs" or match:
+        if not period or period < 1:
+            raise ValueError(
+                "policy 'every_k_epochs' needs a positive period (e.g. period=5 "
+                "or the spelling 'every_5_epochs')"
+            )
+        return PolicySchedule(name=f"every_{period}_epochs", action="incremental", period=period)
+    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICY_NAMES}")

@@ -15,6 +15,7 @@ from repro.experiments import (
     ablation,
     baselines_compare,
     delay_bound,
+    dynamics,
     figure4,
     figure5,
     figure6,
@@ -128,6 +129,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         # Wall-clock measurements on a contended pool would be meaningless,
         # so the runtime experiment always executes serially.
         supports_workers=False,
+    ),
+    "dynamics": _spec(
+        "dynamics",
+        "(extension)",
+        "Longitudinal churn: per-epoch pQoS under a repair-policy schedule",
+        dynamics.run_dynamics,
+        dynamics.format_dynamics,
     ),
     "delay-bound": _spec(
         "delay-bound",

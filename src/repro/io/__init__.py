@@ -1,7 +1,7 @@
 """Input/output helpers: plain-text tables, ASCII charts, CSV dumps and JSON serialisation."""
 
 from repro.io.ascii_plot import cdf_chart, line_chart, sparkline
-from repro.io.csvout import rows_to_csv_text, write_csv
+from repro.io.csvout import CsvAppender, rows_to_csv_text, write_csv
 from repro.io.serialization import (
     assignment_from_dict,
     assignment_to_dict,
@@ -21,6 +21,7 @@ __all__ = [
     "sparkline",
     "write_csv",
     "rows_to_csv_text",
+    "CsvAppender",
     "to_jsonable",
     "dump_json",
     "load_json",

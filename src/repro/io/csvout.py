@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import IO, Iterable, Optional, Sequence, Union
 
-__all__ = ["write_csv", "rows_to_csv_text"]
+__all__ = ["write_csv", "rows_to_csv_text", "CsvAppender"]
 
 PathLike = Union[str, Path]
 
@@ -37,6 +37,49 @@ def write_csv(
                 )
             writer.writerow(list(row))
     return target
+
+
+class CsvAppender:
+    """Incremental CSV writer for streaming record producers.
+
+    The longitudinal ``simulate`` pipeline yields records one epoch at a time;
+    this context manager writes each row as it arrives, so a thousand-epoch
+    run is dumped with O(1) memory.  The header row is written on entry and
+    every appended row is checked against it.
+
+    >>> with CsvAppender("out.csv", ["epoch", "pqos"]) as out:   # doctest: +SKIP
+    ...     for record in simulator.stream(1000):
+    ...         out.append([record.epoch, record.pqos_adopted])
+    """
+
+    def __init__(self, path: PathLike, headers: Sequence[str]):
+        self.path = Path(path)
+        self.headers = list(headers)
+        self._handle: Optional[IO[str]] = None
+        self._writer = None
+        self.rows_written = 0
+
+    def __enter__(self) -> "CsvAppender":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", newline="")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(self.headers)
+        return self
+
+    def append(self, row: Sequence[object]) -> None:
+        """Write one row (must match the header width)."""
+        if self._writer is None:
+            raise RuntimeError("CsvAppender must be used as a context manager")
+        if len(row) != len(self.headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(self.headers)}")
+        self._writer.writerow(list(row))
+        self.rows_written += 1
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
 
 
 def rows_to_csv_text(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -9,7 +9,7 @@ and the multi-run aggregation statistics.
 from repro.metrics.cdf import EmpiricalCDF, delay_cdf, merge_cdfs
 from repro.metrics.qos import QoSReport, client_delays, pqos, qos_report
 from repro.metrics.resources import ResourceReport, resource_report, resource_utilization
-from repro.metrics.summary import AggregateStat, RunningStats, aggregate
+from repro.metrics.summary import AggregateStat, GroupedRunningStats, RunningStats, aggregate
 
 __all__ = [
     "EmpiricalCDF",
@@ -23,6 +23,7 @@ __all__ = [
     "resource_report",
     "resource_utilization",
     "AggregateStat",
+    "GroupedRunningStats",
     "RunningStats",
     "aggregate",
 ]

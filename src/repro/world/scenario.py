@@ -8,14 +8,16 @@ the client population, per-client bandwidth demands, and the two delay
 matrices that the assignment algorithms consume.
 
 Scenarios are immutable snapshots; the dynamics substrate produces new
-scenarios from old ones via :meth:`DVEScenario.with_population` when clients
-join, leave or move.
+scenarios from old ones via :meth:`DVEScenario.with_population` (full rebuild
+of the derived arrays) or :meth:`DVEScenario.apply_churn_delta` (delta update
+that reuses the surviving clients' delay rows) when clients join, leave or
+move.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -38,6 +40,9 @@ from repro.world.clients import ClientPopulation
 from repro.world.distributions import DistributionSpec, sample_client_nodes, sample_client_zones
 from repro.world.servers import MBPS, ServerSet, allocate_capacities
 from repro.world.zones import VirtualWorld
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.dynamics.events import ChurnResult
 
 __all__ = ["DVEConfig", "DVEScenario", "build_scenario"]
 
@@ -199,6 +204,54 @@ class DVEScenario:
         if population.zones.size and population.zones.max() >= self.num_zones:
             raise ValueError("population refers to zones outside this scenario's world")
         delays = self.delay_model.client_server_delays(population.nodes, self.servers.nodes)
+        demands = self.config.bandwidth_model.client_target_demands(
+            population.zones, self.num_zones
+        )
+        return DVEScenario(
+            config=self.config,
+            topology=self.topology,
+            delay_model=self.delay_model,
+            servers=self.servers,
+            world=self.world,
+            population=population,
+            client_server_delays=delays,
+            server_server_delays=self.server_server_delays,
+            client_demands=demands,
+        )
+
+    def apply_churn_delta(self, churn: "ChurnResult") -> "DVEScenario":
+        """Delta version of :meth:`with_population` for a churn batch.
+
+        Instead of recomputing the full client×server delay matrix, the delay
+        rows of surviving clients are carried over through the churn's
+        ``old_to_new`` index map and only the *joining* clients' rows are
+        gathered from the delay model.  Movers keep their rows untouched (a
+        zone move changes the virtual location, not the physical node), and
+        per-client demands are recomputed from the new zone populations —
+        demands depend on how crowded each zone is, so they can change for
+        every client, but that is one :func:`numpy.bincount` away.
+
+        The result is bit-identical to
+        ``self.with_population(churn.population)``: both paths gather the same
+        float64 entries from the same cached all-pairs RTT matrix.
+        """
+        population = churn.population
+        if churn.old_to_new.shape[0] != self.num_clients:
+            raise ValueError(
+                f"churn was generated against a population of "
+                f"{churn.old_to_new.shape[0]} clients, scenario has {self.num_clients}"
+            )
+        if population.zones.size and population.zones.max() >= self.num_zones:
+            raise ValueError("population refers to zones outside this scenario's world")
+
+        delays = np.empty((population.num_clients, self.num_servers), dtype=np.float64)
+        survivors_old = np.flatnonzero(churn.old_to_new >= 0)
+        delays[churn.old_to_new[survivors_old]] = self.client_server_delays[survivors_old]
+        if churn.new_client_indices.size:
+            join_nodes = population.nodes[churn.new_client_indices]
+            delays[churn.new_client_indices] = self.delay_model.client_server_delays(
+                join_nodes, self.servers.nodes
+            )
         demands = self.config.bandwidth_model.client_target_demands(
             population.zones, self.num_zones
         )

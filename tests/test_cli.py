@@ -107,3 +107,105 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestSimulateCommand:
+    SMALL = ["--config", "4s-8z-80c-60cp", "--joins", "8", "--leaves", "8", "--moves", "8"]
+
+    def test_simulate_streams_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-grec",
+                "--epochs",
+                "3",
+                "--policy",
+                "warm_start",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm_start" in out
+        assert "grez-grec" in out
+        assert "Summary over 3 epochs" in out
+
+    def test_simulate_writes_csv(self, capsys, tmp_path):
+        path = tmp_path / "records.csv"
+        code = main(
+            [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-grec",
+                "ranz-virc",
+                "--epochs",
+                "2",
+                "--csv",
+                str(path),
+            ]
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("run,epoch,algorithm,policy")
+        assert len(lines) == 1 + 2 * 2  # header + epochs × algorithms
+        assert "streamed to" in capsys.readouterr().out
+
+    def test_simulate_multi_run_aggregates(self, capsys):
+        code = main(
+            [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-virc",
+                "--epochs",
+                "2",
+                "--runs",
+                "2",
+                "--policy",
+                "every_k_epochs",
+                "--period",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "every_2_epochs" in out
+        assert "2 run(s)" in out
+
+    def test_simulate_rejects_bad_epochs(self, capsys):
+        assert main(["simulate", *self.SMALL, "--epochs", "0"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "nonsense"])
+
+    def test_simulate_backend_rebuild_matches_delta(self, tmp_path):
+        def run_to_csv(backend):
+            path = tmp_path / f"{backend}.csv"
+            args = [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-grec",
+                "--epochs",
+                "2",
+                "--seed",
+                "5",
+                "--backend",
+                backend,
+                "--csv",
+                str(path),
+            ]
+            assert main(args) == 0
+            return path.read_text()
+
+        assert run_to_csv("delta") == run_to_csv("rebuild")
+
+    def test_simulate_every_k_without_period_is_clean_error(self, capsys):
+        assert main(["simulate", *self.SMALL, "--policy", "every_k_epochs"]) == 2
+        assert "period" in capsys.readouterr().err

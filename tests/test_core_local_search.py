@@ -133,3 +133,73 @@ class TestVectorizedLoopEquivalence:
             default.assignment.contact_of_client, vector.assignment.contact_of_client
         )
         assert default.iterations == vector.iterations
+
+
+class TestWarmStartRefine:
+    """The warm-start (incremental-accumulator) backend replays the vectorized
+    backend's move decisions while maintaining delays/loads across moves."""
+
+    def _assert_matches_vectorized(self, instance, start, **kwargs):
+        from repro.core.local_search import warm_start_refine
+
+        vector = refine_assignment(instance, start, **kwargs)
+        warm = warm_start_refine(
+            instance,
+            start,
+            consider_zone_moves=kwargs.get("consider_zone_moves", True),
+            consider_contact_moves=kwargs.get("consider_contact_moves", True),
+            max_iterations=kwargs.get("max_iterations", 200),
+        )
+        assert warm.iterations == vector.iterations
+        np.testing.assert_array_equal(
+            warm.assignment.zone_to_server, vector.assignment.zone_to_server
+        )
+        np.testing.assert_array_equal(
+            warm.assignment.contact_of_client, vector.assignment.contact_of_client
+        )
+        return warm
+
+    def test_bad_start_full_neighbourhood(self, tiny_instance):
+        warm = self._assert_matches_vectorized(tiny_instance, _bad_assignment(tiny_instance))
+        assert warm.final_pqos > warm.initial_pqos
+
+    def test_contact_moves_only(self, tiny_instance):
+        self._assert_matches_vectorized(
+            tiny_instance, _bad_assignment(tiny_instance), consider_zone_moves=False
+        )
+
+    def test_tight_capacities(self, tight_instance):
+        self._assert_matches_vectorized(tight_instance, _bad_assignment(tight_instance))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_generated_scenarios(self, seed):
+        from repro.core.problem import CAPInstance
+        from repro.world.scenario import build_scenario
+        from tests.conftest import make_small_config
+
+        config = make_small_config(num_clients=100, num_zones=8)
+        instance = CAPInstance.from_scenario(build_scenario(config, seed=seed))
+        start = solve_cap(instance, "ranz-virc", seed=seed)
+        self._assert_matches_vectorized(instance, start, max_iterations=30)
+
+    def test_never_worsens_and_records_metadata(self, tiny_instance):
+        from repro.core.local_search import warm_start_refine
+
+        start = _bad_assignment(tiny_instance)
+        result = warm_start_refine(tiny_instance, start)
+        assert result.final_pqos >= result.initial_pqos
+        assert result.assignment.algorithm.endswith("+ws")
+        assert result.assignment.metadata["warm_start_iterations"] == result.iterations
+
+    def test_capacity_flag_recomputed(self, tiny_instance):
+        """A stale capacity_exceeded flag is cleared when loads actually fit."""
+        from repro.core.local_search import warm_start_refine
+
+        start = Assignment(
+            zone_to_server=_bad_assignment(tiny_instance).zone_to_server,
+            contact_of_client=_bad_assignment(tiny_instance).contact_of_client,
+            algorithm="bad",
+            capacity_exceeded=True,  # stale: server 2 easily fits everything
+        )
+        result = warm_start_refine(tiny_instance, start)
+        assert not result.assignment.capacity_exceeded

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.assignment import Assignment
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.core.validation import validate_assignment
@@ -134,3 +135,82 @@ class TestChurnSimulator:
         assert a.pqos_before == b.pqos_before
         assert a.pqos_after == b.pqos_after
         assert a.pqos_reexecuted == b.pqos_reexecuted
+
+
+class TestCarryOverCapacityFlag:
+    """carry_over_assignment audits capacities against the *new* instance
+    instead of copying the pre-churn flag."""
+
+    @staticmethod
+    def _identity_churn(num_clients):
+        from repro.dynamics.events import ChurnResult
+        from repro.world.clients import ClientPopulation
+
+        return ChurnResult(
+            population=ClientPopulation(
+                nodes=np.zeros(num_clients, dtype=np.int64),
+                zones=np.zeros(num_clients, dtype=np.int64),
+            ),
+            old_to_new=np.arange(num_clients, dtype=np.int64),
+            new_client_indices=np.zeros(0, dtype=np.int64),
+        )
+
+    def test_stale_true_flag_cleared_when_loads_fit(self, tiny_instance):
+        ok = registry_solve(tiny_instance, "grez-grec", seed=0)
+        stale = Assignment(
+            zone_to_server=ok.zone_to_server,
+            contact_of_client=ok.contact_of_client,
+            algorithm="stale",
+            capacity_exceeded=True,  # wrong: capacities (1000 each) easily fit
+        )
+        churn = self._identity_churn(tiny_instance.num_clients)
+        carried = carry_over_assignment(stale, churn, tiny_instance)
+        assert not carried.capacity_exceeded
+
+    def test_overload_after_join_heavy_churn_sets_flag(self):
+        from repro.core.problem import CAPInstance
+        from repro.dynamics.events import ChurnResult
+        from repro.world.clients import ClientPopulation
+        from tests.conftest import make_tiny_instance
+
+        old_instance = make_tiny_instance(capacities=(45.0, 45.0, 45.0))
+        # Zones (0,1)→server0 and (2,3)→server1: 40 ≤ 45 on both, feasible.
+        old = Assignment(
+            zone_to_server=np.array([0, 0, 1, 1]),
+            contact_of_client=np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+            algorithm="manual",
+            capacity_exceeded=False,
+        )
+        assert old.is_capacity_feasible(old_instance)
+        # Three clients join zone 0: its demand grows to 50, server 0 now
+        # carries 70 > 45 — the carried-over assignment is overloaded.
+        k_new = 11
+        new_zones = np.concatenate([old_instance.client_zones, [0, 0, 0]])
+        new_instance = CAPInstance(
+            client_server_delays=np.vstack(
+                [old_instance.client_server_delays, np.full((3, 3), 60.0)]
+            ),
+            server_server_delays=old_instance.server_server_delays,
+            client_zones=new_zones,
+            client_demands=np.full(k_new, 10.0),
+            server_capacities=old_instance.server_capacities,
+            delay_bound=old_instance.delay_bound,
+            num_zones=old_instance.num_zones,
+        )
+        churn = ChurnResult(
+            population=ClientPopulation(nodes=np.zeros(k_new, dtype=np.int64), zones=new_zones),
+            old_to_new=np.arange(8, dtype=np.int64),
+            new_client_indices=np.array([8, 9, 10]),
+        )
+        carried = carry_over_assignment(old, churn, new_instance)
+        assert carried.capacity_exceeded
+
+    def test_reusable_out_buffer(self, small_scenario, small_instance, churned):
+        churn, new_scenario = churned
+        old = registry_solve(small_instance, "grez-grec", seed=0)
+        new_instance = CAPInstance.from_scenario(new_scenario)
+        plain = carry_over_assignment(old, churn, new_instance)
+        buffer = np.empty(new_instance.num_clients + 32, dtype=np.int64)
+        buffered = carry_over_assignment(old, churn, new_instance, out=buffer)
+        np.testing.assert_array_equal(plain.contact_of_client, buffered.contact_of_client)
+        assert buffered.contact_of_client.base is buffer  # aliases the scratch buffer

@@ -207,3 +207,63 @@ class TestExtensionDrivers:
         # Heuristics are much faster than the exact MILP (paper Section 4.2).
         assert runtimes["grez-grec"] <= runtimes["optimal"]
         assert "Runtime" in format_runtime(result)
+
+
+class TestDynamicsDriver:
+    def test_small_run_structure(self):
+        from repro.experiments.dynamics import format_dynamics, run_dynamics
+
+        result = run_dynamics(
+            label=SMALL_LABEL,
+            algorithms=ALGOS,
+            num_runs=2,
+            seed=0,
+            num_epochs=3,
+            policy="incremental",
+            churn=ChurnSpec(10, 10, 10),
+        )
+        assert result.algorithms == ALGOS
+        assert result.num_epochs == 3 and result.num_runs == 2
+        assert result.policy == "incremental"
+        for name in ALGOS:
+            trajectory = result.trajectory(name)
+            assert len(trajectory) == 3
+            assert all(0.0 <= v <= 1.0 for v in trajectory)
+            for epoch in range(3):
+                assert result.adopted[(name, epoch)].count == 2
+        text = format_dynamics(result)
+        assert "Longitudinal dynamics" in text and SMALL_LABEL in text
+
+    def test_workers_do_not_change_results(self):
+        from repro.experiments.dynamics import run_dynamics
+
+        kwargs = dict(
+            label=SMALL_LABEL,
+            algorithms=["grez-grec"],
+            num_runs=2,
+            seed=3,
+            num_epochs=2,
+            policy="warm_start",
+            churn=ChurnSpec(10, 10, 10),
+        )
+        serial = run_dynamics(**kwargs, workers=None)
+        parallel = run_dynamics(**kwargs, workers=2)
+        for epoch in range(2):
+            key = ("grez-grec", epoch)
+            assert serial.adopted[key].mean == parallel.adopted[key].mean
+            assert serial.after[key].mean == parallel.after[key].mean
+
+    def test_every_k_policy_resolved_name(self):
+        from repro.experiments.dynamics import run_dynamics
+
+        result = run_dynamics(
+            label=SMALL_LABEL,
+            algorithms=["grez-virc"],
+            num_runs=1,
+            seed=0,
+            num_epochs=2,
+            policy="every_k_epochs",
+            policy_period=2,
+            churn=ChurnSpec(5, 5, 5),
+        )
+        assert result.policy == "every_2_epochs"

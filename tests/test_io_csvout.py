@@ -41,3 +41,39 @@ class TestRowsToCsvText:
     def test_stringification(self):
         text = rows_to_csv_text(["v"], [[0.5], [True]])
         assert "0.5" in text and "True" in text
+
+
+class TestCsvAppender:
+    def test_streams_rows_incrementally(self, tmp_path):
+        from repro.io.csvout import CsvAppender
+
+        path = tmp_path / "stream.csv"
+        with CsvAppender(path, ["epoch", "pqos"]) as out:
+            out.append([0, 0.9])
+            assert path.exists()  # header + first row already on disk mid-stream
+            out.append([1, 0.8])
+            assert out.rows_written == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines == ["epoch,pqos", "0,0.9", "1,0.8"]
+
+    def test_row_width_checked(self, tmp_path):
+        from repro.io.csvout import CsvAppender
+
+        with CsvAppender(tmp_path / "bad.csv", ["a", "b"]) as out:
+            with pytest.raises(ValueError):
+                out.append([1])
+
+    def test_requires_context_manager(self, tmp_path):
+        from repro.io.csvout import CsvAppender
+
+        appender = CsvAppender(tmp_path / "x.csv", ["a"])
+        with pytest.raises(RuntimeError):
+            appender.append([1])
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.io.csvout import CsvAppender
+
+        path = tmp_path / "nested" / "deep" / "out.csv"
+        with CsvAppender(path, ["a"]) as out:
+            out.append([1])
+        assert path.exists()

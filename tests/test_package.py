@@ -57,3 +57,9 @@ class TestPackage:
         assert resource_utilization(small_instance, assignment) == pytest.approx(
             resource_report(small_instance, assignment).utilization
         )
+
+    def test_py_typed_marker_shipped(self):
+        """PEP 561: the package carries a py.typed marker next to __init__."""
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()
