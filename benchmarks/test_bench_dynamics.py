@@ -7,11 +7,16 @@ re-solve every algorithm from scratch) against the incremental pipeline
 sweep-mode warm-start repair), across epoch counts and two scales:
 
 * the paper's largest configuration (30s-160z-2000c-1000cp) with a 10 % churn
-  batch, where epoch cost is dominated by shared work (churn generation,
-  measurement) and the speedup saturates around 2-3×, and
-* 4× that population (30s-160z-8000c-4000cp, same load factor), where the
-  rebuild path's O(population) solve cost dominates and the delta pipeline is
-  ≥5× faster per epoch.
+  batch, and
+* 4× that population (30s-160z-8000c-4000cp, same load factor).
+
+Historically the 4× configuration showed a ≥5× delta-pipeline advantage
+because the rebuild path's per-epoch cost was dominated by the from-scratch
+heuristic solves' Python placement loops.  The vectorized max-regret engine
+(see ``benchmarks/test_bench_solvers.py``) removed that bottleneck for *both*
+pipelines, so the end-to-end advantage now comes from what the delta backend
+still avoids — the world rebuild, re-validation and carried-over state — and
+saturates around 2-3× at paper scale and ~2× at 4× population.
 
 Machine-readable results (per-epoch milliseconds, speedups, adopted pQoS) are
 written to ``BENCH_dynamics.json`` at the repository root so the perf
@@ -134,14 +139,14 @@ def test_bench_dynamics(benchmark, record):
     record("dynamics", text)
     dump_json({"configurations": results}, RESULTS_PATH)
 
-    # The incremental pipeline must beat the full-rebuild pipeline everywhere;
-    # at 4× the paper's population — where the rebuild path's O(population)
-    # solve cost dominates the epoch — the advantage must reach 5×.  At the
-    # paper's own largest configuration epoch cost is dominated by work both
-    # pipelines share (churn generation, QoS measurement), so the end-to-end
-    # ratio saturates lower.
+    # The incremental pipeline must beat the full-rebuild pipeline everywhere.
+    # The 4× threshold used to be 5×, back when the rebuild path's epoch cost
+    # was dominated by the heuristics' Python placement loops; the vectorized
+    # max-regret engine cut that cost for both pipelines (BENCH_solvers.json
+    # tracks it), so the remaining end-to-end gap — rebuild, re-validation,
+    # state carry-over — saturates near 2× at both scales.
     assert paper["epoch_speedup_delta_vs_rebuild"] >= 1.5
-    assert scaled["epoch_speedup_delta_vs_rebuild"] >= 5.0
+    assert scaled["epoch_speedup_delta_vs_rebuild"] >= 1.5
 
     # The repair policies trade a little interactivity for that speed; they
     # must stay within a few points of the re-executed pQoS.

@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import repro.baselines  # noqa: F401  (registers the baseline solvers)
 from repro import __version__
 from repro.core import CAPInstance
+from repro.core.regret import BACKENDS as SOLVER_BACKENDS, DEFAULT_BACKEND
 from repro.core.registry import solve as registry_solve, solver_names
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
@@ -47,6 +48,19 @@ def _workers_type(value: str) -> int:
     if workers < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0 (0 = one per CPU), got {workers}")
     return workers
+
+
+def _add_solver_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--solver-backend`` option to a sub-command parser."""
+    parser.add_argument(
+        "--solver-backend",
+        default=None,
+        choices=SOLVER_BACKENDS,
+        help=(
+            f"max-regret placement backend (default: {DEFAULT_BACKEND}; 'loop' is "
+            "the executable specification — assignments are bit-identical)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--detail", action="store_true", help="also print the full QoS / resource reports"
     )
+    _add_solver_backend_flag(solve)
 
     # experiment ------------------------------------------------------------
     exp = sub.add_parser("experiment", help="run one of the paper's tables / figures")
@@ -102,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: serial; 0 = one per CPU; results are identical for any value)"
         ),
     )
+    _add_solver_backend_flag(exp)
 
     # simulate ---------------------------------------------------------------
     sim = sub.add_parser(
@@ -160,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream every epoch record to this CSV file as it is produced",
     )
+    _add_solver_backend_flag(sim)
 
     return parser
 
@@ -184,7 +201,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     rows: List[list] = []
     for name in args.algorithms:
-        assignment = registry_solve(instance, name, seed=args.seed)
+        assignment = registry_solve(
+            instance, name, seed=args.seed, backend=args.solver_backend
+        )
         rows.append(
             [
                 name,
@@ -213,7 +232,7 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
     """One replication of the simulate command (worker-side; must be picklable)."""
     import repro.baselines  # noqa: F401 — repopulate the registry under spawn
 
-    config, algorithms, churn, num_epochs, policy, period, backend, rng = task
+    config, algorithms, churn, num_epochs, policy, period, backend, solver_backend, rng = task
     scenario_rng, sim_rng = spawn_generators(rng, 2)
     scenario = build_scenario(config, seed=scenario_rng)
     simulator = ChurnSimulator(
@@ -224,6 +243,7 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
         policy=policy,
         policy_period=period,
         backend=backend,
+        solver_backend=solver_backend,
     )
     return simulator.run(num_epochs)
 
@@ -249,6 +269,7 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             policy=args.policy,
             policy_period=args.period,
             backend=args.backend,
+            solver_backend=args.solver_backend,
         )
         for record in simulator.stream(args.epochs):
             yield 0, record
@@ -262,6 +283,7 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             args.policy,
             args.period,
             args.backend,
+            args.solver_backend,
             run_rngs[i],
         )
         for i in range(args.runs)
@@ -295,6 +317,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "epochs": args.epochs,
                 "policy": schedule.name,
                 "backend": args.backend,
+                "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
                 "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
                 "runs": args.runs,
                 "seed": args.seed,
@@ -357,7 +380,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
     if args.workers is not None and not spec.supports_workers:
         print(f"note: experiment {spec.experiment_id!r} always runs serially; --workers ignored")
-    config = ExperimentConfig(num_runs=args.runs, seed=args.seed, workers=args.workers)
+    config = ExperimentConfig(
+        num_runs=args.runs,
+        seed=args.seed,
+        workers=args.workers,
+        solver_backend=args.solver_backend,
+    )
     result = run_experiment(spec, config)
     print(spec.format(result))
     return 0

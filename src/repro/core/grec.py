@@ -11,10 +11,12 @@ distinct contact server consumes ``RC = 2 * RT`` there).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.assignment import Assignment, ZoneAssignment, zone_server_loads
-from repro.core.costs import refined_cost_matrix
+from repro.core.costs import refined_cost_columns
 from repro.core.problem import CAPInstance
 from repro.core.regret import max_regret_assign
 from repro.utils.timing import Timer
@@ -26,6 +28,7 @@ def assign_contacts_greedy(
     instance: CAPInstance,
     zone_assignment: ZoneAssignment,
     recompute_regret: bool = False,
+    backend: Optional[str] = None,
 ) -> Assignment:
     """Choose contact servers with the max-regret greedy heuristic (GreC).
 
@@ -37,6 +40,10 @@ def assign_contacts_greedy(
         The zone → server map from the initial phase.
     recompute_regret:
         Dynamic-regret variant (ablation); the paper computes regrets once.
+    backend:
+        Placement backend forwarded to
+        :func:`~repro.core.regret.max_regret_assign` (``"vectorized"`` /
+        ``"loop"``; ``None`` uses the library default).
 
     Returns
     -------
@@ -62,8 +69,11 @@ def assign_contacts_greedy(
 
         if needs_help.any():
             helped = np.flatnonzero(needs_help)
-            cost = refined_cost_matrix(instance, zone_assignment.zone_to_server)
-            desirability = -cost[:, helped]  # (m, |L_E|)
+            # (m, |L_E|): only the needy clients' refined-cost columns are
+            # computed — the dense (m, k) matrix would mostly be sliced away.
+            desirability = -refined_cost_columns(
+                instance, zone_assignment.zone_to_server, helped
+            )
             loads = zone_server_loads(instance, zone_assignment.zone_to_server)
             result = max_regret_assign(
                 desirability=desirability,
@@ -72,6 +82,7 @@ def assign_contacts_greedy(
                 initial_loads=loads,
                 fallback="skip",
                 recompute=recompute_regret,
+                backend=backend,
             )
             chosen = result.item_to_server
             # Clients that could not be placed anywhere keep their target server

@@ -12,6 +12,8 @@ sufficient residual capacity.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.assignment import ZoneAssignment
 from repro.core.costs import initial_cost_matrix
 from repro.core.problem import CAPInstance
@@ -24,6 +26,7 @@ __all__ = ["assign_zones_greedy"]
 def assign_zones_greedy(
     instance: CAPInstance,
     recompute_regret: bool = False,
+    backend: Optional[str] = None,
 ) -> ZoneAssignment:
     """Assign zones to servers with the max-regret greedy heuristic (GreZ).
 
@@ -35,6 +38,11 @@ def assign_zones_greedy(
         When True, regrets are recomputed after every placement (dynamic
         variant, used by the ablation experiment); the paper's pseudocode
         computes them once, which is the default.
+    backend:
+        Placement backend forwarded to
+        :func:`~repro.core.regret.max_regret_assign` (``"vectorized"`` /
+        ``"loop"``; ``None`` uses the library default).  The backends produce
+        bit-identical assignments.
 
     Returns
     -------
@@ -50,6 +58,7 @@ def assign_zones_greedy(
             capacities=instance.server_capacities,
             fallback="least_loaded",
             recompute=recompute_regret,
+            backend=backend,
         )
     return ZoneAssignment(
         zone_to_server=result.item_to_server,

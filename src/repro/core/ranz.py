@@ -53,9 +53,25 @@ def assign_zones_random(instance: CAPInstance, seed: SeedLike = None) -> ZoneAss
         capacity_exceeded = False
 
         order = np.argsort(-populations, kind="stable")
+        # The feasibility mask is maintained incrementally: placing a zone
+        # changes one server's load, so while consecutive zones have equal
+        # demand (common — zone demand is a function of the population, and
+        # the multinomial population draw produces many ties) only that one
+        # entry needs re-checking.  The predicate keeps the exact spelling of
+        # the original per-zone scan (``loads + demand <= capacities + eps``),
+        # so the feasible sets — and therefore the RNG draw sequence — are
+        # bit-identical to it.
+        slack = capacities + 1e-9
+        feasible_mask = np.zeros(instance.num_servers, dtype=bool)
+        prev_demand: float | None = None
+        prev_server = -1
         for zone in order:
             demand = zone_demands[zone]
-            feasible = np.flatnonzero(loads + demand <= capacities + 1e-9)
+            if demand == prev_demand:
+                feasible_mask[prev_server] = loads[prev_server] + demand <= slack[prev_server]
+            else:
+                np.less_equal(loads + demand, slack, out=feasible_mask)
+            feasible = np.flatnonzero(feasible_mask)
             if feasible.size:
                 server = int(rng.choice(feasible))
             else:
@@ -63,6 +79,8 @@ def assign_zones_random(instance: CAPInstance, seed: SeedLike = None) -> ZoneAss
                 capacity_exceeded = True
             zone_to_server[zone] = server
             loads[server] += demand
+            prev_demand = demand
+            prev_server = server
 
     return ZoneAssignment(
         zone_to_server=zone_to_server,

@@ -15,8 +15,30 @@ the classic greedy algorithms for the Generalized Assignment Problem (Romeijn
 
 The paper's pseudocode (Figures 2 and 3) computes the regrets once up front;
 :func:`max_regret_assign` follows that faithfully, and also offers a
-``recompute`` mode that re-evaluates regrets after every placement (a common
-strengthening of the heuristic) used by the ablation experiment E7.
+``recompute`` mode — the dynamic-regret strengthening used by the ablation
+experiment E7, where an item's regret is re-evaluated over the servers that
+*currently* have room for it: an item whose second-best option just filled up
+becomes urgent and is placed next, before its best option fills up too.
+
+Two interchangeable backends implement both modes:
+
+* ``backend="loop"`` — the original per-item Python scan, kept as the
+  executable specification of the placement semantics.
+* ``backend="vectorized"`` (default) — a batched placement engine.  The
+  static mode places items in rounds: one masked argmax over the
+  (servers × remaining-items) desirability under residual-capacity
+  feasibility picks every remaining item's best feasible server at once, and
+  per-server prefix sums admit as many claimants per server as its residual
+  capacity allows; the admitted items always form a prefix of the regret
+  order, so the rounds replay the loop's placements exactly.  The dynamic
+  mode maintains each item's top-two feasible desirabilities incrementally
+  and re-evaluates only the items whose cached best or second-best server
+  just received load, instead of re-partitioning every remaining column
+  after every placement.
+
+The two backends produce bit-identical assignments, loads and overflow flags
+for the same inputs (the equivalence is property-tested across fallback
+modes, capacity-tight instances and degenerate shapes).
 """
 
 from __future__ import annotations
@@ -26,7 +48,22 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["RegretResult", "max_regret_assign", "regret_order"]
+__all__ = [
+    "RegretResult",
+    "max_regret_assign",
+    "regret_order",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+]
+
+#: Placement backends: the batched engine and the per-item executable spec.
+BACKENDS = ("vectorized", "loop")
+
+#: Backend used when callers do not ask for one explicitly.
+DEFAULT_BACKEND = "vectorized"
+
+#: Capacity slack shared by every feasibility check (matches the heuristics).
+_CAP_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -71,6 +108,277 @@ def regret_order(desirability: np.ndarray) -> np.ndarray:
     return np.argsort(-regrets, kind="stable").astype(np.int64)
 
 
+def _feasible_regrets(masked: np.ndarray) -> np.ndarray:
+    """Per-item dynamic regret, given desirability masked to ``-inf`` when infeasible.
+
+    Items with two or more feasible servers get the usual best-minus-second
+    gap; an item whose *only* feasible server could still fill up is urgent
+    (``+inf``); an item with no feasible server left can only be handled by
+    the fallback, so it sorts last (``-inf``).
+    """
+    num_servers = masked.shape[0]
+    if num_servers == 1:
+        return np.where(np.isneginf(masked[0]), -np.inf, np.inf)
+    top_two = np.partition(masked, num_servers - 2, axis=0)[-2:, :]
+    with np.errstate(invalid="ignore"):
+        regrets = top_two[1] - top_two[0]
+    # -inf minus -inf is NaN: no feasible server at all.
+    regrets[np.isneginf(top_two[1])] = -np.inf
+    return regrets
+
+
+# --------------------------------------------------------------------------- #
+# Loop backend — the executable specification of the placement semantics.
+# --------------------------------------------------------------------------- #
+def _assign_loop(
+    desirability: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    item_to_server: np.ndarray,
+    fallback: str,
+    recompute: bool,
+) -> bool:
+    """Per-item scan; mutates ``loads`` / ``item_to_server``, returns overflow flag."""
+    num_servers, num_items = desirability.shape
+    capacity_exceeded = False
+
+    # Pre-sorted server preference per item (descending desirability).
+    preference = np.argsort(-desirability, axis=0, kind="stable")
+
+    def place(item: int) -> None:
+        nonlocal capacity_exceeded
+        for server in preference[:, item]:
+            if loads[server] + demands[item] <= capacities[server] + _CAP_EPS:
+                item_to_server[item] = server
+                loads[server] += demands[item]
+                return
+        if fallback == "least_loaded":
+            residual = capacities - loads
+            server = int(np.argmax(residual))
+            item_to_server[item] = server
+            loads[server] += demands[item]
+            capacity_exceeded = True
+        # fallback == "skip": leave as -1
+
+    if not recompute:
+        for item in regret_order(desirability):
+            place(int(item))
+    else:
+        remaining = np.ones(num_items, dtype=bool)
+        for _ in range(num_items):
+            idx = np.flatnonzero(remaining)
+            feasible = loads[:, None] + demands[idx][None, :] <= capacities[:, None] + _CAP_EPS
+            masked = np.where(feasible, desirability[:, idx], -np.inf)
+            regrets = _feasible_regrets(masked)
+            # First maximum wins, so regret ties resolve to the lowest index.
+            item = int(idx[int(np.argmax(regrets))])
+            remaining[item] = False
+            place(item)
+    return capacity_exceeded
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized backend, static mode — batched rounds over the regret order.
+# --------------------------------------------------------------------------- #
+def _assign_static_vectorized(
+    desirability: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    item_to_server: np.ndarray,
+    fallback: str,
+) -> bool:
+    """Round-based placement that replays the loop's regret order in prefix batches.
+
+    Every round computes each remaining item's best feasible server with one
+    masked argmax, then admits claimants per server in regret order while the
+    per-server prefix sum of their demands still fits the residual capacity.
+    An item whose claim is rejected (its server filled up earlier in the same
+    round) would fall to a different server in the loop and thereby disturb
+    every later placement, so the round only commits the claims *before* the
+    first rejection — the admitted items always form a prefix of the regret
+    order, which is what makes the rounds bit-identical to the sequential
+    scan.  Loads are accumulated with ``np.add.at`` in placement order so
+    even the floating-point addition order matches the loop.
+    """
+    capacity_exceeded = False
+    remaining = regret_order(desirability)
+
+    while remaining.size:
+        d_rem = demands[remaining]
+        feasible = loads[:, None] + d_rem[None, :] <= capacities[:, None] + _CAP_EPS
+        any_feasible = feasible.any(axis=0)
+
+        if fallback == "skip" and not any_feasible.all():
+            # Loads only ever grow, so an item that fits nowhere now can never
+            # be placed later; skipping consumes no capacity and changes no
+            # state, so the whole batch can be dropped at once.
+            remaining = remaining[any_feasible]
+            if remaining.size == 0:
+                break
+            d_rem = d_rem[any_feasible]
+            feasible = feasible[:, any_feasible]
+            any_feasible = np.ones(remaining.size, dtype=bool)
+
+        if any_feasible.all():
+            first_blocked = remaining.size
+        else:
+            # least_loaded: the blocked item consumes capacity at its exact
+            # position in the order, so claims beyond it must wait.
+            first_blocked = int(np.argmax(~any_feasible))
+
+        n_admit = 0
+        choice = None
+        if first_blocked:
+            claim_cols = remaining[:first_blocked]
+            masked = np.where(
+                feasible[:, :first_blocked], desirability[:, claim_cols], -np.inf
+            )
+            choice = masked.argmax(axis=0)  # first maximum == stable preference walk
+
+            # Per-server conflict resolution: claimants of one server are
+            # admitted in regret order while their running demand prefix sum
+            # still fits; the first rejected claim (in regret order, across
+            # all servers) ends the round's admitted prefix.
+            claim_d = d_rem[:first_blocked]
+            by_server = np.argsort(choice, kind="stable")
+            srv_sorted = choice[by_server]
+            d_sorted = claim_d[by_server]
+            csum = np.cumsum(d_sorted)
+            group_first = np.r_[True, srv_sorted[1:] != srv_sorted[:-1]]
+            group_base = np.maximum.accumulate(np.where(group_first, csum - d_sorted, 0.0))
+            within_group = csum - group_base  # prefix sum including the claim itself
+            ok_sorted = loads[srv_sorted] + within_group <= capacities[srv_sorted] + _CAP_EPS
+            if ok_sorted.all():
+                n_admit = first_blocked
+            else:
+                n_admit = int(by_server[~ok_sorted].min())
+
+            if n_admit:
+                admit_items = remaining[:n_admit]
+                admit_servers = choice[:n_admit]
+                item_to_server[admit_items] = admit_servers
+                # np.add.at applies the additions one index at a time, in the
+                # order given — i.e. in placement order, like the loop.
+                np.add.at(loads, admit_servers, demands[admit_items])
+
+        if n_admit == first_blocked and first_blocked < remaining.size:
+            # The next item in order fits nowhere (true at round start, hence
+            # still true now): apply the least_loaded fallback at its exact
+            # sequential position, then re-evaluate the rest next round.
+            item = int(remaining[first_blocked])
+            residual = capacities - loads
+            server = int(np.argmax(residual))
+            item_to_server[item] = server
+            loads[server] += demands[item]
+            capacity_exceeded = True
+            remaining = remaining[first_blocked + 1:]
+        else:
+            remaining = remaining[n_admit:]
+
+    return capacity_exceeded
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized backend, dynamic mode — incremental top-two maintenance.
+# --------------------------------------------------------------------------- #
+def _top_two_feasible(masked: np.ndarray):
+    """Best / second-best feasible desirability per column of a masked matrix.
+
+    Returns ``(best_val, best_srv, second_val, second_srv, regrets)`` where the
+    server indices are the *first* index attaining each value (matching the
+    stable preference walk of the loop backend) and ``regrets`` follows
+    :func:`_feasible_regrets` semantics.
+    """
+    cols = np.arange(masked.shape[1])
+    best_srv = masked.argmax(axis=0)
+    best_val = masked[best_srv, cols]
+    scratch = masked.copy()
+    scratch[best_srv, cols] = -np.inf
+    second_srv = scratch.argmax(axis=0)
+    second_val = scratch[second_srv, cols]
+    with np.errstate(invalid="ignore"):
+        regrets = best_val - second_val
+    regrets[np.isneginf(best_val)] = -np.inf
+    return best_val, best_srv, second_val, second_srv, regrets
+
+
+def _assign_dynamic_incremental(
+    desirability: np.ndarray,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    item_to_server: np.ndarray,
+    fallback: str,
+) -> bool:
+    """Dynamic-regret placement with incrementally maintained top-two caches.
+
+    Placing an item only changes one server's load, and an item's dynamic
+    regret only changes when a server in its feasible top two does — so after
+    each placement only the remaining items whose cached best or second-best
+    server just received load are re-evaluated (one masked argmax over that
+    subset), instead of re-partitioning the full remaining matrix like the
+    loop backend.  Selection, placement and fallback semantics are exactly
+    the loop's, so the assignments are bit-identical.
+    """
+    num_items = desirability.shape[1]
+    capacity_exceeded = False
+    if num_items == 0:
+        return False
+
+    feasible = loads[:, None] + demands[None, :] <= capacities[:, None] + _CAP_EPS
+    masked = np.where(feasible, desirability, -np.inf)
+    best_val, best_srv, second_val, second_srv, regrets = _top_two_feasible(masked)
+
+    remaining = np.ones(num_items, dtype=bool)
+
+    for _ in range(num_items):
+        # First maximum among the remaining indices, so regret ties resolve
+        # to the lowest item index — exactly the loop's selection rule.
+        idx = np.flatnonzero(remaining)
+        item = int(idx[int(np.argmax(regrets[idx]))])
+        remaining[item] = False
+
+        touched: Optional[int] = None
+        if np.isneginf(best_val[item]):
+            # No feasible server left: fallback, exactly like the loop spec.
+            if fallback == "least_loaded":
+                residual = capacities - loads
+                server = int(np.argmax(residual))
+                item_to_server[item] = server
+                loads[server] += demands[item]
+                capacity_exceeded = True
+                touched = server
+            # fallback == "skip": leave as -1, no state change
+        else:
+            server = int(best_srv[item])
+            item_to_server[item] = server
+            loads[server] += demands[item]
+            touched = server
+
+        if touched is None:
+            continue
+        # Only items whose cached top two involve the touched server can see
+        # their best / second-best change; everything else stays valid.
+        stale = remaining & ((best_srv == touched) | (second_srv == touched))
+        if stale.any():
+            stale_idx = np.flatnonzero(stale)
+            sub_feasible = (
+                loads[:, None] + demands[stale_idx][None, :]
+                <= capacities[:, None] + _CAP_EPS
+            )
+            sub_masked = np.where(sub_feasible, desirability[:, stale_idx], -np.inf)
+            b_val, b_srv, s_val, s_srv, sub_regrets = _top_two_feasible(sub_masked)
+            best_val[stale_idx] = b_val
+            best_srv[stale_idx] = b_srv
+            second_val[stale_idx] = s_val
+            second_srv[stale_idx] = s_srv
+            regrets[stale_idx] = sub_regrets
+
+    return capacity_exceeded
+
+
 def max_regret_assign(
     desirability: np.ndarray,
     demands: np.ndarray,
@@ -78,6 +386,7 @@ def max_regret_assign(
     initial_loads: Optional[np.ndarray] = None,
     fallback: str = "least_loaded",
     recompute: bool = False,
+    backend: Optional[str] = None,
 ) -> RegretResult:
     """Assign items to servers with the max-regret greedy heuristic.
 
@@ -98,9 +407,16 @@ def max_regret_assign(
         residual capacity and flags ``capacity_exceeded``; ``"skip"`` leaves it
         unassigned (``-1``).
     recompute:
-        When True the regret order is recomputed among the remaining items
-        after every placement (dynamic variant used by the ablation study);
-        when False (the paper's pseudocode) regrets are computed once.
+        When True the regrets are dynamic (the ablation study's variant): an
+        item's regret is re-evaluated over the servers that currently have
+        room for it after every placement, so items whose alternatives are
+        filling up are placed with priority; an item whose last feasible
+        server is at risk becomes maximally urgent.  When False (the paper's
+        pseudocode) regrets are computed once from the full matrix.
+    backend:
+        ``"vectorized"`` (default) uses the batched placement engine;
+        ``"loop"`` is the original per-item scan, kept as the executable
+        specification.  Both produce bit-identical results.
 
     Returns
     -------
@@ -120,6 +436,9 @@ def max_regret_assign(
         raise ValueError("demands must be non-negative")
     if fallback not in ("least_loaded", "skip"):
         raise ValueError("fallback must be 'least_loaded' or 'skip'")
+    backend = DEFAULT_BACKEND if backend is None else backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
 
     loads = np.zeros(num_servers) if initial_loads is None else np.asarray(
         initial_loads, dtype=np.float64
@@ -128,36 +447,19 @@ def max_regret_assign(
         raise ValueError("initial_loads must have one entry per server")
 
     item_to_server = np.full(num_items, -1, dtype=np.int64)
-    capacity_exceeded = False
 
-    # Pre-sorted server preference per item (descending desirability).
-    preference = np.argsort(-desirability, axis=0, kind="stable")
-
-    def place(item: int) -> None:
-        nonlocal capacity_exceeded
-        for server in preference[:, item]:
-            if loads[server] + demands[item] <= capacities[server] + 1e-9:
-                item_to_server[item] = server
-                loads[server] += demands[item]
-                return
-        if fallback == "least_loaded":
-            residual = capacities - loads
-            server = int(np.argmax(residual))
-            item_to_server[item] = server
-            loads[server] += demands[item]
-            capacity_exceeded = True
-        # fallback == "skip": leave as -1
-
-    if not recompute:
-        for item in regret_order(desirability):
-            place(int(item))
+    if backend == "loop":
+        capacity_exceeded = _assign_loop(
+            desirability, demands, capacities, loads, item_to_server, fallback, recompute
+        )
+    elif recompute:
+        capacity_exceeded = _assign_dynamic_incremental(
+            desirability, demands, capacities, loads, item_to_server, fallback
+        )
     else:
-        remaining = list(range(num_items))
-        while remaining:
-            sub = desirability[:, remaining]
-            order = regret_order(sub)
-            item = remaining.pop(int(order[0]))
-            place(item)
+        capacity_exceeded = _assign_static_vectorized(
+            desirability, demands, capacities, loads, item_to_server, fallback
+        )
 
     return RegretResult(
         item_to_server=item_to_server,

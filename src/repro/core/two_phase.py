@@ -32,8 +32,8 @@ __all__ = [
     "available_algorithms",
 ]
 
-IAPSolver = Callable[[CAPInstance, SeedLike], ZoneAssignment]
-RAPSolver = Callable[[CAPInstance, ZoneAssignment], Assignment]
+IAPSolver = Callable[[CAPInstance, SeedLike, Optional[str]], ZoneAssignment]
+RAPSolver = Callable[[CAPInstance, ZoneAssignment, Optional[str]], Assignment]
 
 
 @dataclass(frozen=True)
@@ -45,9 +45,9 @@ class TwoPhaseAlgorithm:
     name:
         Canonical lower-case name, e.g. ``"grez-grec"``.
     iap:
-        Callable ``(instance, seed) -> ZoneAssignment``.
+        Callable ``(instance, seed, solver_backend) -> ZoneAssignment``.
     rap:
-        Callable ``(instance, zone_assignment) -> Assignment``.
+        Callable ``(instance, zone_assignment, solver_backend) -> Assignment``.
     description:
         One-line human-readable description.
     """
@@ -57,38 +57,60 @@ class TwoPhaseAlgorithm:
     rap: RAPSolver
     description: str = ""
 
-    def solve(self, instance: CAPInstance, seed: SeedLike = None) -> Assignment:
-        """Run both phases and return the complete assignment."""
-        zone_assignment = self.iap(instance, seed)
-        assignment = self.rap(instance, zone_assignment)
+    def solve(
+        self,
+        instance: CAPInstance,
+        seed: SeedLike = None,
+        solver_backend: Optional[str] = None,
+    ) -> Assignment:
+        """Run both phases and return the complete assignment.
+
+        ``solver_backend`` selects the max-regret placement backend
+        (``"vectorized"`` / ``"loop"``; ``None`` uses the library default) —
+        the backends are bit-identical, so this only affects speed.
+        """
+        zone_assignment = self.iap(instance, seed, solver_backend)
+        assignment = self.rap(instance, zone_assignment, solver_backend)
         return assignment.with_algorithm(self.name)
 
 
 # ---------------------------------------------------------------------- #
 # Phase solver adapters (uniform signatures)
 # ---------------------------------------------------------------------- #
-def _ranz(instance: CAPInstance, seed: SeedLike) -> ZoneAssignment:
+def _ranz(
+    instance: CAPInstance, seed: SeedLike, backend: Optional[str] = None  # noqa: ARG001
+) -> ZoneAssignment:
     return assign_zones_random(instance, seed=seed)
 
 
-def _grez(instance: CAPInstance, seed: SeedLike) -> ZoneAssignment:  # noqa: ARG001
-    return assign_zones_greedy(instance)
+def _grez(
+    instance: CAPInstance, seed: SeedLike, backend: Optional[str] = None  # noqa: ARG001
+) -> ZoneAssignment:
+    return assign_zones_greedy(instance, backend=backend)
 
 
-def _grez_dynamic(instance: CAPInstance, seed: SeedLike) -> ZoneAssignment:  # noqa: ARG001
-    return assign_zones_greedy(instance, recompute_regret=True)
+def _grez_dynamic(
+    instance: CAPInstance, seed: SeedLike, backend: Optional[str] = None  # noqa: ARG001
+) -> ZoneAssignment:
+    return assign_zones_greedy(instance, recompute_regret=True, backend=backend)
 
 
-def _virc(instance: CAPInstance, zones: ZoneAssignment) -> Assignment:
+def _virc(
+    instance: CAPInstance, zones: ZoneAssignment, backend: Optional[str] = None  # noqa: ARG001
+) -> Assignment:
     return assign_contacts_virtual(instance, zones)
 
 
-def _grec(instance: CAPInstance, zones: ZoneAssignment) -> Assignment:
-    return assign_contacts_greedy(instance, zones)
+def _grec(
+    instance: CAPInstance, zones: ZoneAssignment, backend: Optional[str] = None
+) -> Assignment:
+    return assign_contacts_greedy(instance, zones, backend=backend)
 
 
-def _grec_dynamic(instance: CAPInstance, zones: ZoneAssignment) -> Assignment:
-    return assign_contacts_greedy(instance, zones, recompute_regret=True)
+def _grec_dynamic(
+    instance: CAPInstance, zones: ZoneAssignment, backend: Optional[str] = None
+) -> Assignment:
+    return assign_contacts_greedy(instance, zones, recompute_regret=True, backend=backend)
 
 
 #: The four two-phase algorithms evaluated in the paper.
@@ -129,6 +151,7 @@ def solve_cap(
     algorithm: str = "grez-grec",
     seed: SeedLike = None,
     registry: Optional[Dict[str, TwoPhaseAlgorithm]] = None,
+    solver_backend: Optional[str] = None,
 ) -> Assignment:
     """Solve a CAP instance with one of the registered two-phase heuristics.
 
@@ -143,6 +166,9 @@ def solve_cap(
         RNG seed (only used by the RanZ-based algorithms).
     registry:
         Optional alternative algorithm registry (used by tests).
+    solver_backend:
+        Max-regret placement backend (``"vectorized"`` / ``"loop"``; ``None``
+        uses the library default).  The backends are bit-identical.
 
     Returns
     -------
@@ -154,4 +180,4 @@ def solve_cap(
         raise KeyError(
             f"unknown algorithm {algorithm!r}; available: {', '.join(sorted(registry))}"
         )
-    return registry[key].solve(instance, seed=seed)
+    return registry[key].solve(instance, seed=seed, solver_backend=solver_backend)

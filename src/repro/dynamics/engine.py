@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -171,6 +171,11 @@ class ChurnSimulator:
         ``"delta"`` (default) advances the world with delta updates;
         ``"rebuild"`` recomputes scenario and instance from scratch each
         epoch.  Records are bit-identical between the two.
+    solver_backend:
+        Max-regret placement backend used by every from-scratch and
+        incremental solve (``"vectorized"`` / ``"loop"``; ``None`` uses the
+        library default).  The backends are bit-identical, so this only
+        affects epoch cost.
     """
 
     scenario: DVEScenario
@@ -180,6 +185,7 @@ class ChurnSimulator:
     policy: Union[str, PolicySchedule] = "reexecute"
     policy_period: int = 0
     backend: str = "delta"
+    solver_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -191,7 +197,9 @@ class ChurnSimulator:
         solve_rngs = spawn_generators(seed, len(self.algorithms))
         instance = CAPInstance.from_scenario(self.scenario)
         assignments = {
-            name: registry_solve(instance, name, seed=solve_rngs[i])
+            name: registry_solve(
+                instance, name, seed=solve_rngs[i], backend=self.solver_backend
+            )
             for i, name in enumerate(self.algorithms)
         }
         measures = {
@@ -305,7 +313,9 @@ class ChurnSimulator:
 
         reexec_pqos = reexec_util = incr_pqos = _NAN
         if action == "reexecute":
-            adopted = reassign(new_instance, name, seed=reassign_rng)
+            adopted = reassign(
+                new_instance, name, seed=reassign_rng, solver_backend=self.solver_backend
+            )
             reexec_pqos = adopted.pqos(new_instance)
             reexec_util = adopted.resource_utilization(new_instance)
             adopted_pqos, adopted_util = reexec_pqos, reexec_util
@@ -313,11 +323,13 @@ class ChurnSimulator:
                 # The pure re-execute policy also reports the incremental
                 # repair as Table 3's extension column; scheduled policies
                 # skip it to keep the epoch cost proportional to the action.
-                incr_pqos = incremental_reassign(old_assignment, new_instance).pqos(
-                    new_instance
-                )
+                incr_pqos = incremental_reassign(
+                    old_assignment, new_instance, solver_backend=self.solver_backend
+                ).pqos(new_instance)
         elif action == "incremental":
-            adopted = incremental_reassign(old_assignment, new_instance)
+            adopted = incremental_reassign(
+                old_assignment, new_instance, solver_backend=self.solver_backend
+            )
             incr_pqos = adopted.pqos(new_instance)
             adopted_pqos = incr_pqos
             adopted_util = adopted.resource_utilization(new_instance)

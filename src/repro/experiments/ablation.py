@@ -5,13 +5,15 @@ The paper's heuristics embody two specific design decisions worth isolating:
 1. **Regret ordering** — zones/clients are processed in max-regret order
    (GAP-style) rather than, say, largest-demand-first or arbitrary order.
 2. **Static vs dynamic regret** — the paper's pseudocode computes the regrets
-   once; recomputing them after every placement is a well-known strengthening
-   of the heuristic at extra cost.
+   once; the dynamic variant re-evaluates each item's regret over the servers
+   that *currently* have room for it after every placement (an item whose
+   alternatives are filling up becomes urgent), a well-known strengthening of
+   the heuristic at extra cost.
 
 This experiment compares, on the default configuration:
 
 * ``grez-grec``            — the paper's algorithm (static regret),
-* ``grez-grec-dynamic``    — regret recomputed after every placement,
+* ``grez-grec-dynamic``    — feasibility-aware regret after every placement,
 * ``ranz-grec``            — no delay awareness in the initial phase,
 * ``grez-virc``            — no refined phase,
 * ``load-balance``         — no delay awareness at all (pure load balancing),
@@ -81,6 +83,7 @@ def run_ablation(
     correlation: float = 0.5,
     share_topology: bool = True,
     workers: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> AblationResult:
     """Run the ablation comparison on one configuration."""
     variants = list(variants or DEFAULT_ABLATION_VARIANTS)
@@ -92,6 +95,7 @@ def run_ablation(
         seed=seed,
         share_topology=share_topology,
         workers=workers,
+        solver_backend=solver_backend,
     )
     return AblationResult(label=label, result=result, variants=variants)
 

@@ -12,6 +12,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.regret import BACKENDS as _SOLVER_BACKENDS
 from repro.world.scenario import DVEConfig
 
 __all__ = [
@@ -44,27 +45,39 @@ class ExperimentConfig:
     workers:
         Worker processes for the replication engine: ``None``/``1`` serial,
         ``0`` one per available CPU, ``n`` exactly ``n`` processes.
+    solver_backend:
+        Max-regret placement backend forwarded to every solve
+        (``"vectorized"`` / ``"loop"``; ``None`` uses the library default).
+        The backends are bit-identical, so this only affects runtime.
     """
 
     num_runs: int = 3
     seed: int = 0
     workers: Optional[int] = None
+    solver_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_runs < 1:
             raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0 (0 = all CPUs), got {self.workers}")
+        if self.solver_backend is not None and self.solver_backend not in _SOLVER_BACKENDS:
+            raise ValueError(
+                f"solver_backend must be one of {_SOLVER_BACKENDS}, got {self.solver_backend!r}"
+            )
 
     def run_kwargs(self, supports_workers: bool = True) -> Dict[str, object]:
         """Keyword arguments for an experiment driver's ``run`` callable.
 
-        ``workers`` is included only when set *and* supported, so drivers
-        (and test doubles) without the knob keep working untouched.
+        ``workers`` and ``solver_backend`` are included only when set (and,
+        for ``workers``, supported), so drivers and test doubles without the
+        knobs keep working untouched.
         """
         kwargs: Dict[str, object] = {"num_runs": self.num_runs, "seed": self.seed}
         if supports_workers and self.workers is not None:
             kwargs["workers"] = self.workers
+        if self.solver_backend is not None:
+            kwargs["solver_backend"] = self.solver_backend
         return kwargs
 
 _LABEL_RE = re.compile(

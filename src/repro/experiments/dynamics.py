@@ -66,7 +66,17 @@ def _execute_dynamics_run(task) -> GroupedRunningStats:
     """One longitudinal run (worker-side entry point; must be picklable)."""
     import repro.baselines  # noqa: F401 — repopulate the registry under spawn
 
-    config, algorithms, churn, num_epochs, policy, policy_period, backend, rng = task
+    (
+        config,
+        algorithms,
+        churn,
+        num_epochs,
+        policy,
+        policy_period,
+        backend,
+        solver_backend,
+        rng,
+    ) = task
     scenario_rng, sim_rng = spawn_generators(rng, 2)
     scenario = build_scenario(config, seed=scenario_rng)
     simulator = ChurnSimulator(
@@ -77,6 +87,7 @@ def _execute_dynamics_run(task) -> GroupedRunningStats:
         policy=policy,
         policy_period=policy_period,
         backend=backend,
+        solver_backend=solver_backend,
     )
     # Stream records into per-(algorithm, epoch) accumulators so the worker
     # ships back O(algorithms × epochs) statistics, not O(epochs) records.
@@ -99,6 +110,7 @@ def run_dynamics(
     churn: ChurnSpec | None = None,
     correlation: float = 0.0,
     workers: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> DynamicsResult:
     """Run the longitudinal dynamics experiment.
 
@@ -117,7 +129,17 @@ def run_dynamics(
     run_rngs = spawn_generators(rng, num_runs)
 
     tasks = [
-        (config, tuple(algorithms), churn, num_epochs, policy, policy_period, backend, run_rngs[i])
+        (
+            config,
+            tuple(algorithms),
+            churn,
+            num_epochs,
+            policy,
+            policy_period,
+            backend,
+            solver_backend,
+            run_rngs[i],
+        )
         for i in range(num_runs)
     ]
     merged = GroupedRunningStats()

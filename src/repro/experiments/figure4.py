@@ -59,6 +59,7 @@ def run_figure4(
     grid: Optional[np.ndarray] = None,
     share_topology: bool = True,
     workers: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> Figure4Result:
     """Run the Figure 4 experiment and return per-algorithm delay CDFs."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -74,6 +75,7 @@ def run_figure4(
         cdf_grid=grid,
         share_topology=share_topology,
         workers=workers,
+        solver_backend=solver_backend,
     )
     cdfs = {
         name: result.summaries[name].delay_cdf

@@ -86,6 +86,7 @@ def run_table1(
     correlation: float = 0.5,
     share_topology: bool = False,
     workers: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> Table1Result:
     """Run the Table 1 experiment.
 
@@ -124,6 +125,7 @@ def run_table1(
             seed=seed,
             share_topology=share_topology,
             workers=workers,
+            solver_backend=solver_backend,
         )
     return Table1Result(results=results, algorithms=algorithms, optimal_labels=used_optimal)
 

@@ -77,6 +77,7 @@ def run_table4(
     correlation: float = 0.5,
     share_topology: bool = True,
     workers: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> Table4Result:
     """Run the imperfect-input-data experiment of Table 4."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -92,6 +93,7 @@ def run_table4(
             estimator=estimator,
             share_topology=share_topology,
             workers=workers,
+            solver_backend=solver_backend,
         )
     return Table4Result(
         label=label,

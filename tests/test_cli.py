@@ -209,3 +209,29 @@ class TestSimulateCommand:
     def test_simulate_every_k_without_period_is_clean_error(self, capsys):
         assert main(["simulate", *self.SMALL, "--policy", "every_k_epochs"]) == 2
         assert "period" in capsys.readouterr().err
+
+    def test_simulate_solver_backends_stream_identical_records(self, tmp_path):
+        def run_to_csv(backend):
+            path = tmp_path / f"solver-{backend}.csv"
+            args = [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-grec",
+                "--epochs",
+                "2",
+                "--seed",
+                "5",
+                "--solver-backend",
+                backend,
+                "--csv",
+                str(path),
+            ]
+            assert main(args) == 0
+            return path.read_text()
+
+        assert run_to_csv("vectorized") == run_to_csv("loop")
+
+    def test_simulate_rejects_unknown_solver_backend(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", *self.SMALL, "--solver-backend", "gpu"])

@@ -9,6 +9,7 @@ from repro.core.costs import (
     delays_to_targets,
     initial_cost_matrix,
     qos_indicator,
+    refined_cost_columns,
     refined_cost_matrix,
 )
 
@@ -62,6 +63,74 @@ class TestRefinedCostMatrix:
             refined_cost_matrix(tiny_instance, np.array([0, 1]))
         with pytest.raises(ValueError):
             refined_cost_matrix(tiny_instance, np.array([0, 1, 2, 9]))
+
+
+class TestRefinedCostColumns:
+    def test_matches_full_matrix_slice(self, tiny_instance):
+        zone_to_server = np.array([0, 1, 2, 0])
+        full = refined_cost_matrix(tiny_instance, zone_to_server)
+        for clients in ([6, 7], [0], [7, 2, 4], list(range(8))):
+            clients = np.asarray(clients)
+            columns = refined_cost_columns(tiny_instance, zone_to_server, clients)
+            # Bit-wise equality: GreC's desirability must not change when the
+            # dense matrix is no longer materialised.
+            np.testing.assert_array_equal(columns, full[:, clients])
+
+    def test_matches_slice_on_small_instance(self, small_instance):
+        rng = np.random.default_rng(3)
+        zone_to_server = rng.integers(0, small_instance.num_servers, small_instance.num_zones)
+        clients = rng.choice(small_instance.num_clients, size=17, replace=False)
+        np.testing.assert_array_equal(
+            refined_cost_columns(small_instance, zone_to_server, clients),
+            refined_cost_matrix(small_instance, zone_to_server)[:, clients],
+        )
+
+    def test_empty_client_list(self, tiny_instance):
+        columns = refined_cost_columns(tiny_instance, np.array([0, 1, 2, 0]), np.array([], int))
+        assert columns.shape == (3, 0)
+
+    def test_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            refined_cost_columns(tiny_instance, np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            refined_cost_columns(tiny_instance, np.array([0, 1, 2, 9]), np.array([0]))
+        with pytest.raises(ValueError):
+            refined_cost_columns(tiny_instance, np.array([0, 1, 2, 0]), np.array([99]))
+        with pytest.raises(ValueError):
+            refined_cost_columns(tiny_instance, np.array([0, 1, 2, 0]), np.array([[0, 1]]))
+
+
+class TestInitialCostAggregation:
+    def test_matches_scatter_add_reference(self, small_instance):
+        # The sort + reduceat segment reduction must agree exactly with the
+        # np.add.at scatter-add it replaced.
+        reference = np.zeros((small_instance.num_zones, small_instance.num_servers))
+        over = (
+            small_instance.client_server_delays > small_instance.delay_bound
+        ).astype(np.float64)
+        np.add.at(reference, small_instance.client_zones, over)
+        np.testing.assert_array_equal(initial_cost_matrix(small_instance), reference.T)
+
+    def test_empty_zones_contribute_zero(self):
+        from tests.conftest import make_tiny_instance
+
+        instance = make_tiny_instance()
+        # Rebuild with extra trailing zones that no client belongs to.
+        from repro.core.problem import CAPInstance
+
+        padded = CAPInstance(
+            client_server_delays=instance.client_server_delays,
+            server_server_delays=instance.server_server_delays,
+            client_zones=instance.client_zones,
+            client_demands=instance.client_demands,
+            server_capacities=instance.server_capacities,
+            delay_bound=instance.delay_bound,
+            num_zones=instance.num_zones + 3,
+        )
+        cost = initial_cost_matrix(padded)
+        assert cost.shape == (3, 7)
+        np.testing.assert_array_equal(cost[:, 4:], 0.0)
+        np.testing.assert_array_equal(cost[:, :4], initial_cost_matrix(instance))
 
 
 class TestDelaysToTargets:

@@ -55,6 +55,36 @@ class TestRanZ:
         b = assign_zones_random(doubled, seed=3)
         np.testing.assert_array_equal(a.zone_to_server, b.zone_to_server)
 
+    def test_rng_draw_order_matches_reference_scan(self, small_instance):
+        # The incremental feasibility-mask maintenance must leave the feasible
+        # sets — and hence the RNG draw sequence — bit-identical to the
+        # original per-zone scan.
+        from repro.utils.rng import as_generator
+
+        def reference(instance, seed):
+            rng = as_generator(seed)
+            zone_demands = instance.zone_demands()
+            populations = instance.zone_populations()
+            capacities = instance.server_capacities
+            loads = np.zeros(instance.num_servers)
+            zone_to_server = np.full(instance.num_zones, -1, dtype=np.int64)
+            for zone in np.argsort(-populations, kind="stable"):
+                demand = zone_demands[zone]
+                feasible = np.flatnonzero(loads + demand <= capacities + 1e-9)
+                if feasible.size:
+                    server = int(rng.choice(feasible))
+                else:
+                    server = int(np.argmax(capacities - loads))
+                zone_to_server[zone] = server
+                loads[server] += demand
+            return zone_to_server
+
+        for seed in range(10):
+            np.testing.assert_array_equal(
+                assign_zones_random(small_instance, seed=seed).zone_to_server,
+                reference(small_instance, seed),
+            )
+
 
 class TestGreZ:
     def test_tiny_instance_gets_obvious_assignment(self, tiny_instance):
@@ -177,3 +207,47 @@ class TestGreC:
         zones = ZoneAssignment(zone_to_server=np.array([0, 1, 2, 0]), algorithm="grez")
         result = assign_contacts_greedy(tiny_instance, zones, recompute_regret=True)
         assert result.algorithm == "grez-grec-dynamic"
+
+
+class TestSolverBackendEquivalence:
+    """End-to-end GreZ / GreC assignments are bit-identical across backends."""
+
+    @pytest.mark.parametrize("recompute", [False, True])
+    def test_grez_backends_agree(self, small_instance, recompute):
+        loop = assign_zones_greedy(small_instance, recompute_regret=recompute, backend="loop")
+        vec = assign_zones_greedy(
+            small_instance, recompute_regret=recompute, backend="vectorized"
+        )
+        np.testing.assert_array_equal(loop.zone_to_server, vec.zone_to_server)
+        assert loop.capacity_exceeded == vec.capacity_exceeded
+
+    @pytest.mark.parametrize("recompute", [False, True])
+    def test_grec_backends_agree(self, small_instance, recompute):
+        zones = assign_zones_greedy(small_instance)
+        loop = assign_contacts_greedy(
+            small_instance, zones, recompute_regret=recompute, backend="loop"
+        )
+        vec = assign_contacts_greedy(
+            small_instance, zones, recompute_regret=recompute, backend="vectorized"
+        )
+        np.testing.assert_array_equal(loop.contact_of_client, vec.contact_of_client)
+        assert loop.capacity_exceeded == vec.capacity_exceeded
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("algorithm", ["grez-grec", "grez-grec-dynamic", "ranz-grec"])
+    def test_paper_scale_scenario_backends_agree(self, algorithm):
+        # The paper's default configuration (20s-80z-1000c-500cp) exercises
+        # thousands of placements with real capacity contention.
+        from repro.core.registry import solve as registry_solve
+        from repro.core.problem import CAPInstance
+        from repro.experiments.config import config_from_label
+        from repro.world.scenario import build_scenario
+
+        config = config_from_label("20s-80z-1000c-500cp", correlation=0.0)
+        scenario = build_scenario(config, seed=11)
+        instance = CAPInstance.from_scenario(scenario)
+        loop = registry_solve(instance, algorithm, seed=5, backend="loop")
+        vec = registry_solve(instance, algorithm, seed=5, backend="vectorized")
+        np.testing.assert_array_equal(loop.zone_to_server, vec.zone_to_server)
+        np.testing.assert_array_equal(loop.contact_of_client, vec.contact_of_client)
+        assert loop.capacity_exceeded == vec.capacity_exceeded

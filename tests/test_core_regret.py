@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.regret import max_regret_assign, regret_order
+from repro.core.regret import BACKENDS, DEFAULT_BACKEND, max_regret_assign, regret_order
 
 
 class TestRegretOrder:
@@ -125,3 +125,142 @@ class TestMaxRegretAssign:
             max_regret_assign(
                 np.zeros((2, 1)), np.ones(1), np.ones(2), initial_loads=np.ones(3)
             )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            max_regret_assign(np.zeros((2, 1)), np.ones(1), np.ones(2), backend="gpu")
+
+    def test_default_backend_is_registered(self):
+        assert DEFAULT_BACKEND in BACKENDS
+
+
+class TestDynamicRegret:
+    """Behaviour of the feasibility-aware ``recompute=True`` mode (both backends)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_urgent_item_placed_before_higher_static_regret(self, backend):
+        # Item 0 has the larger static regret, but item 1's only feasible
+        # server is server 0 (its demand exceeds server 1's capacity), which
+        # makes it urgent under dynamic regret: it claims server 0 first and
+        # item 0 falls back to its second choice.
+        desirability = np.array([[0.0, 0.0], [-10.0, -1.0]])
+        demands = np.array([2.0, 3.0])
+        capacities = np.array([3.0, 2.0])
+        static = max_regret_assign(
+            desirability, demands, capacities, recompute=False, backend=backend
+        )
+        dynamic = max_regret_assign(
+            desirability, demands, capacities, recompute=True, backend=backend
+        )
+        np.testing.assert_array_equal(static.item_to_server, [0, 1])
+        assert static.capacity_exceeded  # item 1 fits nowhere after item 0
+        np.testing.assert_array_equal(dynamic.item_to_server, [1, 0])
+        assert not dynamic.capacity_exceeded
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_items_without_feasible_server_fall_back_last(self, backend):
+        desirability = np.array([[0.0, -1.0], [-2.0, 0.0]])
+        result = max_regret_assign(
+            desirability,
+            demands=np.array([50.0, 1.0]),
+            capacities=np.array([10.0, 10.0]),
+            recompute=True,
+            fallback="skip",
+            backend=backend,
+        )
+        assert result.item_to_server[0] == -1
+        assert result.item_to_server[1] == 1
+        assert not result.capacity_exceeded
+
+
+def _random_problem(rng):
+    """One randomized max-regret problem, biased toward capacity contention."""
+    num_servers = int(rng.integers(1, 8))
+    num_items = int(rng.integers(0, 40))
+    desirability = -rng.random((num_servers, num_items)) * rng.choice([1.0, 10.0])
+    if rng.random() < 0.3:
+        desirability = np.round(desirability, 1)  # force desirability/regret ties
+    if rng.random() < 0.5:
+        demands = rng.random(num_items) * 5.0
+    else:
+        demands = rng.integers(1, 6, num_items).astype(np.float64)
+    tightness = float(rng.choice([0.3, 0.6, 1.0, 3.0]))
+    capacities = rng.random(num_servers) * demands.sum() * tightness / num_servers + 0.1
+    initial_loads = rng.random(num_servers) * capacities * float(rng.choice([0.0, 0.5]))
+    return desirability, demands, capacities, initial_loads
+
+
+class TestBackendEquivalence:
+    """The vectorized backend must be bit-identical to the loop spec."""
+
+    @pytest.mark.parametrize("fallback", ["least_loaded", "skip"])
+    @pytest.mark.parametrize("recompute", [False, True])
+    def test_randomized_instances(self, fallback, recompute):
+        rng = np.random.default_rng(20260728)
+        for _ in range(60):
+            desirability, demands, capacities, initial_loads = _random_problem(rng)
+            results = {
+                backend: max_regret_assign(
+                    desirability,
+                    demands,
+                    capacities,
+                    initial_loads=initial_loads,
+                    fallback=fallback,
+                    recompute=recompute,
+                    backend=backend,
+                )
+                for backend in BACKENDS
+            }
+            loop, vec = results["loop"], results["vectorized"]
+            np.testing.assert_array_equal(vec.item_to_server, loop.item_to_server)
+            np.testing.assert_array_equal(vec.loads, loop.loads)  # bit-wise, not approx
+            assert vec.capacity_exceeded == loop.capacity_exceeded
+
+    @pytest.mark.parametrize("recompute", [False, True])
+    @pytest.mark.parametrize("fallback", ["least_loaded", "skip"])
+    @pytest.mark.parametrize(
+        "shape", [(1, 0), (3, 0), (1, 5), (1, 1), (4, 1)], ids=str
+    )
+    def test_degenerate_shapes(self, shape, fallback, recompute):
+        num_servers, num_items = shape
+        rng = np.random.default_rng(7)
+        desirability = -rng.random((num_servers, num_items))
+        demands = rng.random(num_items) * 4.0
+        capacities = rng.random(num_servers) * 3.0 + 0.1
+        results = {
+            backend: max_regret_assign(
+                desirability,
+                demands,
+                capacities,
+                fallback=fallback,
+                recompute=recompute,
+                backend=backend,
+            )
+            for backend in BACKENDS
+        }
+        loop, vec = results["loop"], results["vectorized"]
+        np.testing.assert_array_equal(vec.item_to_server, loop.item_to_server)
+        np.testing.assert_array_equal(vec.loads, loop.loads)
+        assert vec.capacity_exceeded == loop.capacity_exceeded
+
+    def test_single_server_saturation(self):
+        # Everything funnels through one server until it overflows.
+        desirability = -np.arange(12.0)[None, :]
+        demands = np.full(12, 2.0)
+        for fallback in ("least_loaded", "skip"):
+            for recompute in (False, True):
+                results = [
+                    max_regret_assign(
+                        desirability,
+                        demands,
+                        np.array([7.0]),
+                        fallback=fallback,
+                        recompute=recompute,
+                        backend=backend,
+                    )
+                    for backend in BACKENDS
+                ]
+                np.testing.assert_array_equal(
+                    results[0].item_to_server, results[1].item_to_server
+                )
+                np.testing.assert_array_equal(results[0].loads, results[1].loads)
