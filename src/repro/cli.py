@@ -26,6 +26,8 @@ from repro.core.regret import BACKENDS as SOLVER_BACKENDS, DEFAULT_BACKEND
 from repro.core.registry import solve as registry_solve, solver_names
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
+from repro.dynamics.infrastructure import ServerChurnSpec
+from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import POLICY_NAMES, make_policy
 from repro.experiments.config import ExperimentConfig, config_from_label, PAPER_DEFAULT_LABEL
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
@@ -48,6 +50,36 @@ def _workers_type(value: str) -> int:
     if workers < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0 (0 = one per CPU), got {workers}")
     return workers
+
+
+def _server_churn_type(value: str) -> ServerChurnSpec:
+    """argparse type for ``--server-churn``: ``JOINS:LEAVES[:DRIFT]``.
+
+    E.g. ``1:1`` (one server joins, one leaves, per epoch) or ``0:0:0.05``
+    (fixed fleet size with 5 % capacity drift).
+    """
+    parts = value.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"expected JOINS:LEAVES[:DRIFT], got {value!r}"
+        )
+    try:
+        joins, leaves = int(parts[0]), int(parts[1])
+        drift = float(parts[2]) if len(parts) == 3 else 0.0
+        return ServerChurnSpec(num_joins=joins, num_leaves=leaves, capacity_drift=drift)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid --server-churn {value!r}: {exc}") from None
+
+
+def _non_negative_float(value: str) -> float:
+    """argparse type for non-negative float options."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return parsed
 
 
 def _add_solver_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -168,6 +200,37 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--leaves", type=int, default=200, help="clients leaving per epoch")
     sim.add_argument("--moves", type=int, default=200, help="clients moving zones per epoch")
     sim.add_argument(
+        "--server-churn",
+        type=_server_churn_type,
+        default=None,
+        metavar="J:L[:DRIFT]",
+        help=(
+            "infrastructure churn per epoch: servers joining, leaving and an "
+            "optional relative capacity drift (e.g. 1:1:0.05); default: fixed fleet"
+        ),
+    )
+    sim.add_argument(
+        "--migration-cost",
+        type=_non_negative_float,
+        default=0.0,
+        metavar="PER_CLIENT",
+        help=(
+            "state-transfer cost charged per migrated client when a zone changes "
+            "hosting server (default: 0 = free, the paper's semantics)"
+        ),
+    )
+    sim.add_argument(
+        "--migration-budget",
+        type=_non_negative_float,
+        default=None,
+        metavar="COST",
+        help=(
+            "per-epoch migration budget for scheduled re-executions: a re-execution "
+            "billing above this is demoted to the incremental repair "
+            "(needs --migration-cost > 0 to have any effect)"
+        ),
+    )
+    sim.add_argument(
         "--correlation", type=float, default=0.0, help="physical-virtual correlation delta"
     )
     sim.add_argument(
@@ -232,16 +295,32 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
     """One replication of the simulate command (worker-side; must be picklable)."""
     import repro.baselines  # noqa: F401 — repopulate the registry under spawn
 
-    config, algorithms, churn, num_epochs, policy, period, backend, solver_backend, rng = task
+    (
+        config,
+        algorithms,
+        churn,
+        server_churn,
+        migration_cost,
+        migration_budget,
+        num_epochs,
+        policy,
+        period,
+        backend,
+        solver_backend,
+        rng,
+    ) = task
     scenario_rng, sim_rng = spawn_generators(rng, 2)
     scenario = build_scenario(config, seed=scenario_rng)
     simulator = ChurnSimulator(
         scenario=scenario,
         algorithms=list(algorithms),
         churn_spec=churn,
+        server_churn_spec=server_churn,
+        migration_cost=migration_cost,
         seed=sim_rng,
         policy=policy,
         policy_period=period,
+        policy_migration_budget=migration_budget,
         backend=backend,
         solver_backend=solver_backend,
     )
@@ -256,6 +335,7 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
     the replications out over :func:`ordered_map` and stream run by run.
     """
     churn = ChurnSpec(num_joins=args.joins, num_leaves=args.leaves, num_moves=args.moves)
+    migration_cost = MigrationCostModel(cost_per_client=args.migration_cost)
     rng = as_generator(args.seed)
     run_rngs = spawn_generators(rng, args.runs)
     if args.runs == 1:
@@ -265,9 +345,12 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             scenario=scenario,
             algorithms=list(args.algorithms),
             churn_spec=churn,
+            server_churn_spec=args.server_churn,
+            migration_cost=migration_cost,
             seed=sim_rng,
             policy=args.policy,
             policy_period=args.period,
+            policy_migration_budget=args.migration_budget,
             backend=args.backend,
             solver_backend=args.solver_backend,
         )
@@ -279,6 +362,9 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             config,
             tuple(args.algorithms),
             churn,
+            args.server_churn,
+            migration_cost,
+            args.migration_budget,
             args.epochs,
             args.policy,
             args.period,
@@ -309,6 +395,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     config = config_from_label(args.config, correlation=args.correlation)
 
+    if args.server_churn is not None:
+        fleet = (
+            f"{args.server_churn.num_joins} joins, {args.server_churn.num_leaves} leaves, "
+            f"{args.server_churn.capacity_drift:g} capacity drift"
+        )
+    else:
+        fleet = "fixed"
     print(
         format_kv(
             {
@@ -319,6 +412,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
                 "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
+                "server churn per epoch": fleet,
+                "migration cost / client": args.migration_cost,
+                "migration budget": (
+                    "unlimited" if args.migration_budget is None else args.migration_budget
+                ),
                 "runs": args.runs,
                 "seed": args.seed,
             },
@@ -338,6 +436,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 writer.append([run_index, *record.row()])
             stats.add((record.algorithm, "after"), record.pqos_after)
             stats.add((record.algorithm, "adopted"), record.pqos_adopted)
+            stats.add((record.algorithm, "migrated"), float(record.clients_migrated))
+            stats.add((record.algorithm, "migration_cost"), record.migration_cost)
             if record.epoch == args.epochs - 1:
                 stats.add((record.algorithm, "final"), record.pqos_adopted)
                 final_clients = record.num_clients_after
@@ -357,12 +457,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             stats.stat((name, "after")).mean,
             stats.stat((name, "adopted")).mean,
             stats.stat((name, "final")).mean,
+            stats.stat((name, "migrated")).mean,
+            stats.stat((name, "migration_cost")).mean,
         ]
         for name in args.algorithms
     ]
     print(
         format_table(
-            ["algorithm", "stale pQoS (mean)", "adopted pQoS (mean)", "adopted pQoS (final)"],
+            [
+                "algorithm",
+                "stale pQoS (mean)",
+                "adopted pQoS (mean)",
+                "adopted pQoS (final)",
+                "clients migrated / epoch",
+                "migration cost / epoch",
+            ],
             rows,
             title=(
                 f"Summary over {args.epochs} epochs × {args.runs} run(s); "

@@ -168,6 +168,30 @@ def _refine_loop(
 # --------------------------------------------------------------------------- #
 # Vectorized backend — delta-cost matrices instead of nested scans.
 # --------------------------------------------------------------------------- #
+def _zone_move_aggregates(
+    instance: CAPInstance,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Loop-invariant per-(zone, server) aggregates of the post-move delays.
+
+    ``direct[c, s]`` is client ``c``'s delay when connected directly to host
+    ``s`` (the self-delay diagonal term is normally zero but kept for exact
+    parity with the loop backend); ``within_matrix`` / ``excess_matrix``
+    aggregate it per zone, and ``zone_sizes`` counts members.  Shared by
+    every zone-move neighbourhood scanner.
+    """
+    num_zones, num_servers = instance.num_zones, instance.num_servers
+    zones_of = instance.client_zones
+    bound = instance.delay_bound
+    direct = instance.client_server_delays + np.diag(instance.server_server_delays)[None, :]
+    within_matrix = np.zeros((num_zones, num_servers), dtype=np.float64)
+    excess_matrix = np.zeros_like(within_matrix)
+    if instance.num_clients:
+        np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
+        np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
+    zone_sizes = np.bincount(zones_of, minlength=num_zones)
+    return direct, within_matrix, excess_matrix, zone_sizes
+
+
 def _best_zone_move(
     instance: CAPInstance,
     zone_to_server: np.ndarray,
@@ -317,20 +341,10 @@ def _refine_vectorized(
     consider_contact_moves: bool,
 ) -> int:
     """Delta-cost-matrix hill climber; mutates the arrays in place."""
-    num_zones = instance.num_zones
     zones_of = instance.client_zones
     bound = instance.delay_bound
-    # Loop-invariant per-(zone, server) aggregates of the post-move delays:
-    # members of a moved zone always connect directly to the new host.
-    within_matrix = np.zeros((num_zones, instance.num_servers), dtype=np.float64)
-    excess_matrix = np.zeros_like(within_matrix)
-    if instance.num_clients:
-        # Post-move delay of a member is d(c, s) + d(s, s) — the self-delay
-        # term is normally zero but is kept for exact parity with the loop.
-        direct = instance.client_server_delays + np.diag(instance.server_server_delays)[None, :]
-        np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
-        np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
-    zone_sizes = np.bincount(zones_of, minlength=num_zones)
+    # Members of a moved zone always connect directly to the new host.
+    _, within_matrix, excess_matrix, zone_sizes = _zone_move_aggregates(instance)
 
     iterations = 0
     for _ in range(max_iterations):
@@ -417,14 +431,7 @@ def _refine_incremental(
 
     within_matrix = excess_matrix = zone_sizes = zone_demands = None
     if consider_zone_moves:
-        num_zones = instance.num_zones
-        within_matrix = np.zeros((num_zones, instance.num_servers), dtype=np.float64)
-        excess_matrix = np.zeros_like(within_matrix)
-        if instance.num_clients:
-            direct = csd + np.diag(ssd)[None, :]
-            np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
-            np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
-        zone_sizes = np.bincount(zones_of, minlength=num_zones)
+        _, within_matrix, excess_matrix, zone_sizes = _zone_move_aggregates(instance)
         zone_demands = instance.zone_demands()
 
     iterations = 0
@@ -590,6 +597,111 @@ def _repair_contacts_sweep(
     return applied_total
 
 
+def _repair_zones_sweep(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    contacts: np.ndarray,
+    max_iterations: int,
+    max_sweeps: int = 20,
+) -> int:
+    """Batched zone-move repair: one ``(zones, servers)`` scan per sweep.
+
+    Each sweep evaluates, for every zone, the objective delta of re-hosting
+    it on every other server (members reconnect directly — the GreC base
+    case), picks each zone's best strictly-improving destination that fits
+    the sweep-start loads, and then admits the candidate moves greedily in
+    gain order with incrementally updated loads (a move whose headroom was
+    consumed by an earlier admission waits for the next sweep).  Because a
+    zone move only changes its *own* members' delays, the objective deltas of
+    distinct zones are additive, so every admitted move still strictly
+    improves the global objective.  Feasibility checks only the destination
+    fit: a zone move sheds load everywhere else (forwarding of its members is
+    released), so no other server can end worse off.
+
+    This is the neighbourhood that recovers hotspot *shifts*: after churn
+    concentrates population in new zones, contact repairs alone cannot move
+    the hosting, while a handful of zone moves re-balances the fleet at a
+    cost proportional to the number of sweeps, not the population.
+    """
+    num_zones, num_servers = instance.num_zones, instance.num_servers
+    if num_zones == 0 or num_servers <= 1 or instance.num_clients == 0:
+        return 0
+    zones_of = instance.client_zones
+    bound = instance.delay_bound
+    capacities = instance.server_capacities
+    zone_demands = instance.zone_demands()
+
+    direct, within_matrix, excess_matrix, zone_sizes = _zone_move_aggregates(instance)
+
+    # Per-zone member lists, once (CSR-style layout).
+    member_order = np.argsort(zones_of, kind="stable")
+    member_starts = np.r_[0, np.cumsum(zone_sizes)]
+
+    delays = delays_to_targets(instance, zone_to_server, contacts)
+    loads = server_loads(instance, zone_to_server, contacts)
+
+    applied_total = 0
+    for _ in range(max_sweeps):
+        if applied_total >= max_iterations:
+            break
+        within = delays <= bound
+        excess_vec = np.maximum(delays - bound, 0.0)
+        within_current = np.bincount(
+            zones_of, weights=within.astype(np.float64), minlength=num_zones
+        )
+        excess_current = np.bincount(zones_of, weights=excess_vec, minlength=num_zones)
+
+        qos_delta = within_matrix - within_current[:, None]
+        excess_delta = excess_matrix - excess_current[:, None]
+        fits = loads[None, :] + zone_demands[:, None] <= capacities[None, :] + _CAP_EPS
+        fits[np.arange(num_zones), zone_to_server] = False
+        fits[zone_sizes == 0, :] = False
+        improving = fits & ((qos_delta > 0) | ((qos_delta == 0) & (excess_delta < 0)))
+        if not improving.any():
+            break
+
+        qos_masked = np.where(improving, qos_delta, -np.inf)
+        best_qos = qos_masked.max(axis=1)
+        candidate_zones = np.flatnonzero(best_qos > -np.inf)
+        excess_masked = np.where(
+            improving & (qos_delta == best_qos[:, None]), excess_delta, np.inf
+        )
+        best_server = excess_masked.argmin(axis=1)
+        # Admit the biggest gains first (qos gain desc, excess delta asc).
+        gain_order = np.lexsort(
+            (
+                excess_masked[candidate_zones, best_server[candidate_zones]],
+                -best_qos[candidate_zones],
+            )
+        )
+
+        applied_this_sweep = 0
+        for zone in candidate_zones[gain_order]:
+            if applied_total >= max_iterations:
+                break
+            zone = int(zone)
+            server = int(best_server[zone])
+            if loads[server] + zone_demands[zone] > capacities[server] + _CAP_EPS:
+                continue  # an earlier admission consumed the headroom
+            members = member_order[member_starts[zone]: member_starts[zone + 1]]
+            old_server = int(zone_to_server[zone])
+            forwarded = members[contacts[members] != old_server]
+            if forwarded.size:
+                np.subtract.at(
+                    loads, contacts[forwarded], 2.0 * instance.client_demands[forwarded]
+                )
+            loads[old_server] -= zone_demands[zone]
+            loads[server] += zone_demands[zone]
+            zone_to_server[zone] = server
+            contacts[members] = server
+            delays[members] = direct[members, server]
+            applied_total += 1
+            applied_this_sweep += 1
+        if applied_this_sweep == 0:
+            break
+    return applied_total
+
+
 _WARM_START_MODES = ("best", "sweep")
 
 
@@ -614,31 +726,37 @@ def warm_start_refine(
     ``mode="best"`` applies the globally best improving move per round with
     exactly the :func:`refine_assignment` move-acceptance semantics (the two
     produce identical assignments from the same start).  ``mode="sweep"``
-    batches a whole sweep of per-client improving moves between scans — the
-    fast path the simulation engine uses, at the cost of a move order that
-    is greedy per client rather than globally best-first.
+    batches a whole sweep of improving moves between scans — the fast path
+    the simulation engine uses, at the cost of a move order that is greedy
+    per zone / client rather than globally best-first.
 
     Zone moves are off by default (re-hosting a zone is the expensive
-    neighbourhood and rarely pays off for small churn) and are only
-    supported by ``mode="best"``.  ``capacity_exceeded`` on the result is
-    recomputed against the instance rather than inherited, so a repair that
-    ends within capacity clears a stale flag.
+    neighbourhood and, without infrastructure churn, rarely pays off for
+    small churn).  With ``consider_zone_moves=True``, ``mode="sweep"`` runs
+    the batched zone-move sweep (:func:`_repair_zones_sweep`) *before* the
+    contact sweep, which is what lets the warm-start policy recover hotspot
+    shifts and evacuated zones without a full re-execution.
+    ``capacity_exceeded`` on the result is recomputed against the instance
+    rather than inherited, so a repair that ends within capacity clears a
+    stale flag.
     """
     if mode not in _WARM_START_MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {_WARM_START_MODES}")
-    if mode == "sweep" and consider_zone_moves:
-        raise ValueError("mode='sweep' repairs contacts only; use mode='best' for zone moves")
     zone_to_server = assignment.zone_to_server.copy()
     contacts = assignment.contact_of_client.copy()
     initial_pqos = assignment.pqos(instance)
 
     with Timer() as timer:
         if mode == "sweep":
-            iterations = (
-                _repair_contacts_sweep(instance, zone_to_server, contacts, max_iterations)
-                if consider_contact_moves
-                else 0
-            )
+            iterations = 0
+            if consider_zone_moves:
+                iterations += _repair_zones_sweep(
+                    instance, zone_to_server, contacts, max_iterations
+                )
+            if consider_contact_moves and iterations < max_iterations:
+                iterations += _repair_contacts_sweep(
+                    instance, zone_to_server, contacts, max_iterations - iterations
+                )
         else:
             iterations = _refine_incremental(
                 instance,

@@ -1,8 +1,10 @@
 """DVE dynamics substrate: churn generation and reassignment policies.
 
 Reproduces the paper's Table 3 experiment (join / leave / move churn with
-re-execution of the assignment algorithms) and extends it with an
-incremental-repair policy and a multi-epoch churn simulator.
+re-execution of the assignment algorithms) and extends it with repair
+policies, a multi-epoch churn simulator, elastic infrastructure churn
+(servers joining / leaving, capacity drift), a zone migration cost model and
+a migration-aware rebalance controller.
 """
 
 from repro.dynamics.churn import ChurnSpec, generate_churn
@@ -13,6 +15,19 @@ from repro.dynamics.controller import (
     RebalanceTrace,
 )
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord, SimulationState
+from repro.dynamics.infrastructure import (
+    ServerChurnBatch,
+    ServerChurnResult,
+    ServerChurnSpec,
+    apply_server_churn,
+    generate_server_churn,
+)
+from repro.dynamics.migration import (
+    MigrationCharge,
+    MigrationCostModel,
+    charge_zone_moves,
+    count_zone_migrations,
+)
 from repro.dynamics.policies import (
     POLICY_ACTIONS,
     POLICY_NAMES,
@@ -21,6 +36,7 @@ from repro.dynamics.policies import (
     incremental_reassign,
     make_policy,
     reassign,
+    remap_assignment_servers,
 )
 from repro.dynamics.events import ChurnBatch, ChurnResult, apply_churn
 
@@ -30,7 +46,17 @@ __all__ = [
     "ChurnBatch",
     "ChurnResult",
     "apply_churn",
+    "ServerChurnSpec",
+    "ServerChurnBatch",
+    "ServerChurnResult",
+    "generate_server_churn",
+    "apply_server_churn",
+    "MigrationCostModel",
+    "MigrationCharge",
+    "count_zone_migrations",
+    "charge_zone_moves",
     "carry_over_assignment",
+    "remap_assignment_servers",
     "incremental_reassign",
     "reassign",
     "make_policy",

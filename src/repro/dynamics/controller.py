@@ -15,23 +15,51 @@ according to a configurable :class:`RebalancePolicy`.  The controller tracks
 how many of each action it took and the pQoS trajectory, so policies can be
 compared on both interactivity and re-assignment cost (full re-executions are
 the expensive, disruptive events an operator wants to minimise).
+
+The controller runs on the :class:`~repro.dynamics.engine.SimulationState`
+engine: the world advances through the delta backend (``backend="rebuild"``
+keeps the full-rebuild executable spec), infrastructure churn
+(:class:`~repro.dynamics.infrastructure.ServerChurnSpec`) is supported, every
+epoch also streams a full :class:`~repro.dynamics.engine.EpochRecord`, and a
+:class:`~repro.dynamics.migration.MigrationCostModel` prices each decision's
+zone moves — :attr:`RebalancePolicy.max_migration_cost_per_epoch` lets the
+policy veto re-executions whose state-transfer bill is too high.  On
+client-only churn with the default (free) migration model the decision
+sequence and pQoS trajectory are bit-identical to the original standalone
+loop, which the test suite keeps as the executable specification.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.dynamics.churn import ChurnSpec, generate_churn
+from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord, SimulationState
 from repro.dynamics.events import apply_churn
-from repro.dynamics.policies import carry_over_assignment, incremental_reassign
+from repro.dynamics.infrastructure import (
+    ServerChurnResult,
+    ServerChurnSpec,
+    apply_server_churn,
+    generate_server_churn,
+)
+from repro.dynamics.migration import MigrationCharge, MigrationCostModel, charge_zone_moves
+from repro.dynamics.policies import (
+    carry_over_assignment,
+    incremental_reassign,
+    remap_assignment_servers,
+)
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import DVEScenario
 
 __all__ = ["RebalancePolicy", "RebalanceStep", "RebalanceTrace", "RebalanceController"]
+
+_NAN = float("nan")
 
 
 @dataclass(frozen=True)
@@ -51,12 +79,20 @@ class RebalancePolicy:
     accept_repair_if_within:
         The repair is kept only if it brings pQoS within this distance of the
         target; otherwise the controller escalates to a full re-execution.
+    max_migration_cost_per_epoch:
+        Migration budget (in the cost model's units).  A full re-execution
+        whose zone moves would bill above this budget is demoted to the
+        incremental repair — the explicit interactivity-vs-disruption
+        trade-off.  Infinite by default (migration-oblivious, the original
+        behaviour); only meaningful together with a non-free
+        :class:`~repro.dynamics.migration.MigrationCostModel`.
     """
 
     target_pqos: float = 0.9
     repair_slack: float = 0.05
     full_rebalance_every: int = 0
     accept_repair_if_within: float = 0.02
+    max_migration_cost_per_epoch: float = math.inf
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_pqos <= 1.0:
@@ -65,6 +101,8 @@ class RebalancePolicy:
             raise ValueError("slack values must be non-negative")
         if self.full_rebalance_every < 0:
             raise ValueError("full_rebalance_every must be >= 0")
+        if self.max_migration_cost_per_epoch < 0:
+            raise ValueError("max_migration_cost_per_epoch must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -76,6 +114,11 @@ class RebalanceStep:
     pqos_stale: float
     pqos_final: float
     num_clients: int
+    num_servers: int = 0
+    zones_migrated: int = 0
+    clients_migrated: int = 0
+    migration_cost: float = 0.0
+    freeze_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -85,6 +128,9 @@ class RebalanceTrace:
     steps: List[RebalanceStep]
     policy: RebalancePolicy
     algorithm: str
+    #: Streaming engine records (one per epoch), so controller studies plug
+    #: into the same CSV / summary tooling as the policy-schedule engine.
+    records: List[EpochRecord] = field(default_factory=list)
 
     @property
     def num_rebalances(self) -> int:
@@ -102,6 +148,16 @@ class RebalanceTrace:
         if not self.steps:
             return 1.0
         return sum(s.pqos_final for s in self.steps) / len(self.steps)
+
+    @property
+    def total_migration_cost(self) -> float:
+        """Total migration bill across all epochs (cost-model units)."""
+        return sum(s.migration_cost for s in self.steps)
+
+    @property
+    def total_clients_migrated(self) -> int:
+        """Total clients whose zone changed hosting server across the run."""
+        return sum(s.clients_migrated for s in self.steps)
 
     def pqos_series(self) -> List[float]:
         """Post-decision pQoS per epoch."""
@@ -121,9 +177,20 @@ class RebalanceController:
     policy:
         The trigger policy.
     churn_spec:
-        Amount of churn per epoch.
+        Amount of client churn per epoch.
     seed:
         Master seed for churn generation and the solver's random choices.
+    server_churn_spec:
+        Optional infrastructure churn per epoch (servers joining / leaving,
+        capacity drift); ``None`` keeps the fixed fleet.
+    migration_cost:
+        Price model for zone moves (free by default); feeds both the
+        per-step accounting and the policy's migration budget.
+    backend:
+        World-advance backend (``"delta"`` default, ``"rebuild"`` is the
+        executable spec; traces are bit-identical).
+    solver_backend:
+        Max-regret placement backend forwarded to every solve.
     """
 
     scenario: DVEScenario
@@ -131,45 +198,191 @@ class RebalanceController:
     policy: RebalancePolicy = field(default_factory=RebalancePolicy)
     churn_spec: ChurnSpec = field(default_factory=ChurnSpec)
     seed: SeedLike = None
+    server_churn_spec: Optional[ServerChurnSpec] = None
+    migration_cost: MigrationCostModel = field(default_factory=MigrationCostModel)
+    backend: str = "delta"
+    solver_backend: Optional[str] = None
 
-    def run(self, num_epochs: int = 5) -> RebalanceTrace:
-        """Simulate ``num_epochs`` churn epochs under the controller's policy."""
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+
+    # ------------------------------------------------------------------ #
+    def _engine(self) -> ChurnSimulator:
+        """The engine shell whose world-advance backends this controller reuses."""
+        return ChurnSimulator(
+            scenario=self.scenario,
+            algorithms=[self.algorithm],
+            churn_spec=self.churn_spec,
+            server_churn_spec=self.server_churn_spec,
+            migration_cost=self.migration_cost,
+            backend=self.backend,
+            solver_backend=self.solver_backend,
+        )
+
+    def stream(self, num_epochs: int = 5) -> Iterator[Tuple[RebalanceStep, EpochRecord]]:
+        """Run controlled churn epochs, yielding ``(step, record)`` pairs.
+
+        The RNG layout intentionally replays the original standalone loop
+        (one solve stream plus two per-epoch sub-streams; a third per-epoch
+        sub-stream is spawned only when infrastructure churn is active), so
+        on client-only churn the decision trace is bit-identical to the
+        pre-engine controller.  That layout differs from
+        :meth:`ChurnSimulator.stream` (which spawns one sub-stream per
+        tracked algorithm), which is why the per-epoch churn generation is
+        spelled out here rather than shared — only the world *advance*
+        (:meth:`ChurnSimulator._advance_world`) is common.
+        """
         if num_epochs < 1:
             raise ValueError("num_epochs must be >= 1")
+        engine = self._engine()
+        server_active = engine._server_churn_active
         rng = as_generator(self.seed)
         solve_rng, *epoch_rngs = spawn_generators(rng, num_epochs + 1)
 
-        scenario = self.scenario
-        instance = CAPInstance.from_scenario(scenario)
-        assignment: Assignment = registry_solve(instance, self.algorithm, seed=solve_rng)
-
-        steps: List[RebalanceStep] = []
-        for epoch in range(num_epochs):
-            churn_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 2)
-            batch = generate_churn(scenario, self.churn_spec, seed=churn_rng)
-            churn = apply_churn(scenario.population, batch)
-            scenario = scenario.with_population(churn.population)
-            new_instance = CAPInstance.from_scenario(scenario)
-
-            stale = carry_over_assignment(assignment, churn, new_instance)
-            pqos_stale = stale.pqos(new_instance)
-            action, final = self._decide(
-                epoch, stale, pqos_stale, new_instance, reassign_rng
-            )
-            steps.append(
-                RebalanceStep(
-                    epoch=epoch,
-                    action=action,
-                    pqos_stale=pqos_stale,
-                    pqos_final=final.pqos(new_instance),
-                    num_clients=new_instance.num_clients,
+        instance = CAPInstance.from_scenario(self.scenario)
+        assignment: Assignment = registry_solve(
+            instance, self.algorithm, seed=solve_rng, backend=self.solver_backend
+        )
+        state = SimulationState(
+            scenario=self.scenario,
+            instance=instance,
+            assignments={self.algorithm: assignment},
+            measures={
+                self.algorithm: (
+                    assignment.pqos(instance),
+                    assignment.resource_utilization(instance),
                 )
+            },
+        )
+
+        for epoch in range(num_epochs):
+            if server_active:
+                churn_rng, server_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 3)
+            else:
+                server_rng = None
+                churn_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 2)
+            batch = generate_churn(state.scenario, self.churn_spec, seed=churn_rng)
+            churn = apply_churn(state.scenario.population, batch)
+            server_churn: Optional[ServerChurnResult] = None
+            if server_active:
+                server_batch = generate_server_churn(
+                    state.scenario.servers,
+                    self.server_churn_spec,
+                    num_nodes=state.scenario.topology.num_nodes,
+                    seed=server_rng,
+                )
+                server_churn = apply_server_churn(state.scenario.servers, server_batch)
+            new_scenario, new_instance = engine._advance_world(state, churn, server_churn)
+
+            old_assignment = state.assignments[self.algorithm]
+            before_pqos, before_util = state.measures[self.algorithm]
+            if server_churn is not None:
+                base = remap_assignment_servers(
+                    old_assignment, server_churn, new_instance, state.instance.client_zones
+                )
+            else:
+                base = old_assignment
+            stale = carry_over_assignment(base, churn, new_instance)
+            pqos_stale = stale.pqos(new_instance)
+
+            action, final, reexec_pqos, reexec_util, incr_pqos, charge = self._decide(
+                epoch, stale, pqos_stale, new_instance, reassign_rng, old_assignment, server_churn
             )
-            assignment = final
-            instance = new_instance
-        return RebalanceTrace(steps=steps, policy=self.policy, algorithm=self.algorithm)
+            # The chosen assignment's pQoS was already computed by the branch
+            # that chose it — no need to re-evaluate O(clients) delays.
+            pqos_final = {"none": pqos_stale, "repair": incr_pqos, "rebalance": reexec_pqos}[
+                action
+            ]
+            if charge is None:
+                charge = self._charge(old_assignment, final, server_churn, new_instance)
+            final = final.with_algorithm(self.algorithm)
+
+            step = RebalanceStep(
+                epoch=epoch,
+                action=action,
+                pqos_stale=pqos_stale,
+                pqos_final=pqos_final,
+                num_clients=new_instance.num_clients,
+                num_servers=new_instance.num_servers,
+                zones_migrated=charge.zones_migrated,
+                clients_migrated=charge.clients_migrated,
+                migration_cost=charge.cost,
+                freeze_ms=charge.freeze_ms,
+            )
+            final_util = final.resource_utilization(new_instance)
+            record = EpochRecord(
+                epoch=epoch,
+                algorithm=self.algorithm,
+                pqos_before=before_pqos,
+                pqos_after=pqos_stale,
+                pqos_reexecuted=reexec_pqos,
+                pqos_incremental=incr_pqos,
+                utilization_before=before_util,
+                utilization_reexecuted=reexec_util,
+                num_clients_before=state.instance.num_clients,
+                num_clients_after=new_instance.num_clients,
+                policy="controller",
+                pqos_adopted=pqos_final,
+                utilization_adopted=final_util,
+                num_servers_after=new_instance.num_servers,
+                zones_migrated=charge.zones_migrated,
+                clients_migrated=charge.clients_migrated,
+                migration_cost=charge.cost,
+            )
+            yield step, record
+
+            state.scenario = new_scenario
+            state.instance = new_instance
+            state.assignments[self.algorithm] = final
+            state.measures[self.algorithm] = (pqos_final, final_util)
+            state.epoch = epoch + 1
+
+    def run(self, num_epochs: int = 5) -> RebalanceTrace:
+        """Simulate ``num_epochs`` churn epochs under the controller's policy."""
+        steps: List[RebalanceStep] = []
+        records: List[EpochRecord] = []
+        for step, record in self.stream(num_epochs):
+            steps.append(step)
+            records.append(record)
+        return RebalanceTrace(
+            steps=steps, policy=self.policy, algorithm=self.algorithm, records=records
+        )
+
+    def run_legacy(self, num_epochs: int = 5) -> RebalanceTrace:
+        """Deprecated shim for the pre-engine standalone loop.
+
+        The standalone rebuild-everything loop was replaced by the
+        engine-backed :meth:`run`, which produces the identical decision
+        trace on client-only churn with the default (free) migration model;
+        this shim only exists so old call sites keep working.
+        """
+        warnings.warn(
+            "RebalanceController.run_legacy() is deprecated: the standalone "
+            "rebuild loop was replaced by the SimulationState engine; call "
+            "run() instead (traces are identical on client-only churn).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(num_epochs)
 
     # ------------------------------------------------------------------ #
+    def _charge(
+        self,
+        old_assignment: Assignment,
+        final: Assignment,
+        server_churn: Optional[ServerChurnResult],
+        instance: CAPInstance,
+    ) -> MigrationCharge:
+        """Migration bill of adopting ``final`` after this epoch's churn."""
+        return charge_zone_moves(
+            self.migration_cost,
+            old_assignment.zone_to_server,
+            final.zone_to_server,
+            instance.zone_populations(),
+            server_old_to_new=None if server_churn is None else server_churn.old_to_new,
+        )
+
     def _decide(
         self,
         epoch: int,
@@ -177,21 +390,50 @@ class RebalanceController:
         pqos_stale: float,
         instance: CAPInstance,
         seed: SeedLike,
-    ) -> tuple[str, Assignment]:
+        old_assignment: Assignment,
+        server_churn: Optional[ServerChurnResult],
+    ) -> tuple[str, Assignment, float, float, float, Optional[MigrationCharge]]:
+        """Pick the epoch's action.
+
+        Returns ``(action, assignment, reexec pQoS, reexec utilisation,
+        incremental pQoS, charge)`` — measurement points a branch did not
+        compute are NaN, and ``charge`` is the chosen assignment's migration
+        bill when this decision already computed it (``None`` otherwise).
+        """
         policy = self.policy
+        reexec_pqos = reexec_util = incr_pqos = _NAN
         periodic_due = (
             policy.full_rebalance_every > 0
             and (epoch + 1) % policy.full_rebalance_every == 0
         )
         if pqos_stale >= policy.target_pqos and not periodic_due:
-            return "none", stale
+            return "none", stale, reexec_pqos, reexec_util, incr_pqos, None
 
+        repaired: Optional[Assignment] = None
         if not periodic_due and pqos_stale >= policy.target_pqos - policy.repair_slack:
-            repaired = incremental_reassign(stale, instance)
-            if repaired.pqos(instance) >= policy.target_pqos - policy.accept_repair_if_within:
-                return "repair", repaired
+            repaired = incremental_reassign(stale, instance, solver_backend=self.solver_backend)
+            incr_pqos = repaired.pqos(instance)
+            if incr_pqos >= policy.target_pqos - policy.accept_repair_if_within:
+                return "repair", repaired, reexec_pqos, reexec_util, incr_pqos, None
 
-        rebalanced: Optional[Assignment] = registry_solve(
-            instance, self.algorithm, seed=seed
+        rebalanced: Assignment = registry_solve(
+            instance, self.algorithm, seed=seed, backend=self.solver_backend
         )
-        return "rebalance", rebalanced
+        reexec_pqos = rebalanced.pqos(instance)
+        reexec_util = rebalanced.resource_utilization(instance)
+        if math.isfinite(policy.max_migration_cost_per_epoch):
+            charge = self._charge(old_assignment, rebalanced, server_churn, instance)
+            if charge.cost > policy.max_migration_cost_per_epoch:
+                # Over budget: degrade to the repair (zone map kept — only
+                # forced evacuations remain), or keep the stale assignment if
+                # the repair is no better.
+                if repaired is None:
+                    repaired = incremental_reassign(
+                        stale, instance, solver_backend=self.solver_backend
+                    )
+                    incr_pqos = repaired.pqos(instance)
+                if incr_pqos >= pqos_stale:
+                    return "repair", repaired, reexec_pqos, reexec_util, incr_pqos, None
+                return "none", stale, reexec_pqos, reexec_util, incr_pqos, None
+            return "rebalance", rebalanced, reexec_pqos, reexec_util, incr_pqos, charge
+        return "rebalance", rebalanced, reexec_pqos, reexec_util, incr_pqos, None

@@ -39,12 +39,20 @@ from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.dynamics.churn import ChurnSpec, generate_churn
 from repro.dynamics.events import ChurnResult, apply_churn
+from repro.dynamics.infrastructure import (
+    ServerChurnResult,
+    ServerChurnSpec,
+    apply_server_churn,
+    generate_server_churn,
+)
+from repro.dynamics.migration import MigrationCostModel, charge_zone_moves
 from repro.dynamics.policies import (
     PolicySchedule,
     carry_over_assignment,
     incremental_reassign,
     make_policy,
     reassign,
+    remap_assignment_servers,
 )
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import DVEScenario
@@ -67,6 +75,12 @@ class EpochRecord:
     the cheap contact-only repair.  ``pqos_adopted`` / ``utilization_adopted``
     describe the assignment the policy actually kept for the next epoch;
     measurement points the epoch's policy action did not compute are NaN.
+
+    ``zones_migrated`` / ``clients_migrated`` / ``migration_cost`` charge the
+    adopted assignment's zone moves relative to the pre-churn assignment
+    (including evacuations forced by departing servers) under the engine's
+    :class:`~repro.dynamics.migration.MigrationCostModel`, so disruption can
+    be compared across policies from the CSV stream alone.
     """
 
     epoch: int
@@ -82,6 +96,10 @@ class EpochRecord:
     policy: str = "reexecute"
     pqos_adopted: float = _NAN
     utilization_adopted: float = _NAN
+    num_servers_after: int = 0
+    zones_migrated: int = 0
+    clients_migrated: int = 0
+    migration_cost: float = 0.0
 
     #: CSV / JSON column order used by the ``simulate`` CLI and benchmarks.
     FIELDS = (
@@ -90,6 +108,7 @@ class EpochRecord:
         "policy",
         "num_clients_before",
         "num_clients_after",
+        "num_servers_after",
         "pqos_before",
         "pqos_after",
         "pqos_reexecuted",
@@ -98,6 +117,9 @@ class EpochRecord:
         "utilization_before",
         "utilization_reexecuted",
         "utilization_adopted",
+        "zones_migrated",
+        "clients_migrated",
+        "migration_cost",
     )
 
     def row(self) -> list:
@@ -156,7 +178,17 @@ class ChurnSimulator:
     algorithms:
         Names of registered CAP solvers to track.
     churn_spec:
-        Amount of churn per epoch.
+        Amount of client churn per epoch.
+    server_churn_spec:
+        Optional infrastructure churn per epoch (servers joining / leaving,
+        capacity drift).  ``None`` (or an all-zero spec) keeps the paper's
+        fixed fleet — and keeps every record bit-identical to the
+        pre-elastic engine, because the extra RNG sub-stream is only spawned
+        when infrastructure churn is active.
+    migration_cost:
+        Price model for zone moves; every adopted assignment is charged
+        relative to the previous epoch's assignment and the bill is streamed
+        in the records.  The default model is free.
     seed:
         Master seed; every epoch and every algorithm's randomised choices get
         independent sub-streams.
@@ -181,15 +213,23 @@ class ChurnSimulator:
     scenario: DVEScenario
     algorithms: List[str]
     churn_spec: ChurnSpec = field(default_factory=ChurnSpec)
+    server_churn_spec: Optional[ServerChurnSpec] = None
+    migration_cost: MigrationCostModel = field(default_factory=MigrationCostModel)
     seed: SeedLike = None
     policy: Union[str, PolicySchedule] = "reexecute"
     policy_period: int = 0
+    policy_migration_budget: Optional[float] = None
     backend: str = "delta"
     solver_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+
+    @property
+    def _server_churn_active(self) -> bool:
+        """True when the epoch loop must generate infrastructure churn."""
+        return self.server_churn_spec is not None and not self.server_churn_spec.is_static
 
     # ------------------------------------------------------------------ #
     def initial_state(self, seed: SeedLike) -> SimulationState:
@@ -214,18 +254,54 @@ class ChurnSimulator:
         )
 
     def _advance_world(
-        self, state: SimulationState, churn: ChurnResult
+        self,
+        state: SimulationState,
+        churn: ChurnResult,
+        server_churn: Optional[ServerChurnResult] = None,
     ) -> tuple[DVEScenario, CAPInstance]:
-        """Post-churn scenario and instance via the configured backend."""
+        """Post-churn scenario and instance via the configured backend.
+
+        With infrastructure churn the server delta is applied first (on the
+        pre-churn population), then the client delta — both backends follow
+        the same order, so their records stay bit-identical.
+        """
         if self.backend == "rebuild":
-            new_scenario = state.scenario.with_population(churn.population)
+            new_scenario = state.scenario
+            if server_churn is not None:
+                new_scenario = new_scenario.with_servers(server_churn.servers)
+            new_scenario = new_scenario.with_population(churn.population)
             return new_scenario, CAPInstance.from_scenario(new_scenario)
-        new_scenario = state.scenario.apply_churn_delta(churn)
+        mid_scenario = (
+            state.scenario
+            if server_churn is None
+            else state.scenario.apply_server_delta(server_churn)
+        )
+        new_scenario = mid_scenario.apply_churn_delta(churn)
+        if state.instance.mirrors_arrays_of(state.scenario):
+            # The state only ever advanced through the delta pipeline, so the
+            # freshly delta-gathered scenario arrays ARE the new instance's
+            # arrays — alias them instead of re-gathering and re-validating
+            # the client×server matrix a second time per epoch.
+            return new_scenario, CAPInstance.from_scenario_unchecked(new_scenario)
+        if server_churn is None:
+            new_instance = state.instance.apply_delta(
+                old_to_new=churn.old_to_new,
+                join_delays=new_scenario.client_server_delays[churn.new_client_indices],
+                client_zones=new_scenario.population.zones,
+                client_demands=new_scenario.client_demands,
+            )
+            return new_scenario, new_instance
         new_instance = state.instance.apply_delta(
             old_to_new=churn.old_to_new,
             join_delays=new_scenario.client_server_delays[churn.new_client_indices],
             client_zones=new_scenario.population.zones,
             client_demands=new_scenario.client_demands,
+            server_old_to_new=server_churn.old_to_new,
+            server_join_delays=mid_scenario.client_server_delays[
+                :, server_churn.new_server_indices
+            ],
+            server_server_delays=mid_scenario.server_server_delays,
+            server_capacities=mid_scenario.servers.capacities,
         )
         return new_scenario, new_instance
 
@@ -241,18 +317,41 @@ class ChurnSimulator:
         """
         if num_epochs < 1:
             raise ValueError("num_epochs must be >= 1")
-        schedule = make_policy(self.policy, period=self.policy_period or None)
+        schedule = make_policy(
+            self.policy,
+            period=self.policy_period or None,
+            migration_budget=self.policy_migration_budget,
+        )
         rng = as_generator(self.seed)
         state = self.initial_state(rng)
         epoch_rngs = spawn_generators(rng, num_epochs)
+        server_active = self._server_churn_active
 
         for epoch in range(num_epochs):
-            churn_rng, *reassign_rngs = spawn_generators(
-                epoch_rngs[epoch], 1 + len(self.algorithms)
-            )
+            # The extra server-churn sub-stream is spawned only when the fleet
+            # actually churns, so static-fleet runs replay the exact RNG
+            # layout (and records) of the pre-elastic engine.
+            if server_active:
+                churn_rng, server_rng, *reassign_rngs = spawn_generators(
+                    epoch_rngs[epoch], 2 + len(self.algorithms)
+                )
+            else:
+                server_rng = None
+                churn_rng, *reassign_rngs = spawn_generators(
+                    epoch_rngs[epoch], 1 + len(self.algorithms)
+                )
             batch = generate_churn(state.scenario, self.churn_spec, seed=churn_rng)
             churn = apply_churn(state.scenario.population, batch)
-            new_scenario, new_instance = self._advance_world(state, churn)
+            server_churn: Optional[ServerChurnResult] = None
+            if server_active:
+                server_batch = generate_server_churn(
+                    state.scenario.servers,
+                    self.server_churn_spec,
+                    num_nodes=state.scenario.topology.num_nodes,
+                    seed=server_rng,
+                )
+                server_churn = apply_server_churn(state.scenario.servers, server_batch)
+            new_scenario, new_instance = self._advance_world(state, churn, server_churn)
             action = schedule.action_for_epoch(epoch)
 
             next_assignments: Dict[str, Assignment] = {}
@@ -265,6 +364,7 @@ class ChurnSimulator:
                     name,
                     old_assignment,
                     churn,
+                    server_churn,
                     new_instance,
                     schedule,
                     action,
@@ -292,6 +392,7 @@ class ChurnSimulator:
         name: str,
         old_assignment: Assignment,
         churn: ChurnResult,
+        server_churn: Optional[ServerChurnResult],
         new_instance: CAPInstance,
         schedule: PolicySchedule,
         action: str,
@@ -303,8 +404,18 @@ class ChurnSimulator:
         # evaluated on the unchanged instance — carried forward, not recomputed.
         before_pqos, before_util = state.measures[name]
 
+        # With infrastructure churn the old assignment first crosses to the
+        # new server index space (departed hosts force zone evacuations);
+        # repairs then start from the remapped assignment.
+        if server_churn is not None:
+            base_assignment = remap_assignment_servers(
+                old_assignment, server_churn, new_instance, instance.client_zones
+            )
+        else:
+            base_assignment = old_assignment
+
         carried = carry_over_assignment(
-            old_assignment,
+            base_assignment,
             churn,
             new_instance,
             out=state.contacts_buffer(new_instance.num_clients),
@@ -312,6 +423,7 @@ class ChurnSimulator:
         after_pqos = carried.pqos(new_instance)
 
         reexec_pqos = reexec_util = incr_pqos = _NAN
+        charge = None  # the adopted assignment's bill, when already computed
         if action == "reexecute":
             adopted = reassign(
                 new_instance, name, seed=reassign_rng, solver_backend=self.solver_backend
@@ -319,16 +431,29 @@ class ChurnSimulator:
             reexec_pqos = adopted.pqos(new_instance)
             reexec_util = adopted.resource_utilization(new_instance)
             adopted_pqos, adopted_util = reexec_pqos, reexec_util
-            if schedule.period == 0:
+            if math.isfinite(schedule.migration_budget):
+                # Migration-aware schedule: a re-execution whose zone moves
+                # bill above the budget is demoted to the incremental repair,
+                # which keeps the zone map (only forced evacuations remain).
+                charge = self._charge_migration(old_assignment, adopted, server_churn, new_instance)
+                if charge.cost > schedule.migration_budget:
+                    adopted = incremental_reassign(
+                        base_assignment, new_instance, solver_backend=self.solver_backend
+                    )
+                    charge = None  # the adopted assignment changed; re-bill below
+                    incr_pqos = adopted.pqos(new_instance)
+                    adopted_pqos = incr_pqos
+                    adopted_util = adopted.resource_utilization(new_instance)
+            if schedule.period == 0 and math.isnan(incr_pqos):
                 # The pure re-execute policy also reports the incremental
                 # repair as Table 3's extension column; scheduled policies
                 # skip it to keep the epoch cost proportional to the action.
                 incr_pqos = incremental_reassign(
-                    old_assignment, new_instance, solver_backend=self.solver_backend
+                    base_assignment, new_instance, solver_backend=self.solver_backend
                 ).pqos(new_instance)
         elif action == "incremental":
             adopted = incremental_reassign(
-                old_assignment, new_instance, solver_backend=self.solver_backend
+                base_assignment, new_instance, solver_backend=self.solver_backend
             )
             incr_pqos = adopted.pqos(new_instance)
             adopted_pqos = incr_pqos
@@ -337,11 +462,18 @@ class ChurnSimulator:
             # Budget one move per client: heavy churn can push far more than
             # the refiner's default 200 clients over the bound, and sweep
             # moves are cheap — a tight cap would silently truncate the
-            # repair and skew the policy comparison.
+            # repair and skew the policy comparison.  The batched zone-move
+            # sweep joins in only on epochs whose *infrastructure* churned:
+            # that is when the hosting itself is wrong (evacuated zones,
+            # drifted capacities) and a contact repair cannot recover it,
+            # while on client-only epochs the zone scan's O(clients×servers)
+            # setup would break the repair's cost-proportional-to-churn
+            # property for little gain.
             adopted = warm_start_refine(
                 new_instance,
                 carried,
                 mode="sweep",
+                consider_zone_moves=server_churn is not None,
                 max_iterations=max(200, new_instance.num_clients),
             ).assignment
             adopted_pqos = adopted.pqos(new_instance)
@@ -352,6 +484,8 @@ class ChurnSimulator:
         # " (carried over)+ws" would otherwise compound every epoch.
         adopted = adopted.with_algorithm(name)
 
+        if charge is None:
+            charge = self._charge_migration(old_assignment, adopted, server_churn, new_instance)
         record = EpochRecord(
             epoch=epoch,
             algorithm=name,
@@ -366,8 +500,28 @@ class ChurnSimulator:
             policy=schedule.name,
             pqos_adopted=adopted_pqos,
             utilization_adopted=adopted_util,
+            num_servers_after=new_instance.num_servers,
+            zones_migrated=charge.zones_migrated,
+            clients_migrated=charge.clients_migrated,
+            migration_cost=charge.cost,
         )
         return record, adopted
+
+    def _charge_migration(
+        self,
+        old_assignment: Assignment,
+        adopted: Assignment,
+        server_churn: Optional[ServerChurnResult],
+        new_instance: CAPInstance,
+    ):
+        """Bill the adopted assignment's zone moves against the pre-churn map."""
+        return charge_zone_moves(
+            self.migration_cost,
+            old_assignment.zone_to_server,
+            adopted.zone_to_server,
+            new_instance.zone_populations(),
+            server_old_to_new=None if server_churn is None else server_churn.old_to_new,
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod

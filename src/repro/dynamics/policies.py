@@ -25,6 +25,7 @@ re-execute every ``k`` epochs with cheap repairs in between.
 from __future__ import annotations
 
 from dataclasses import dataclass
+import math
 import re
 from typing import Optional, Union
 
@@ -36,10 +37,12 @@ from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.core.assignment import ZoneAssignment
 from repro.dynamics.events import ChurnResult
+from repro.dynamics.infrastructure import ServerChurnResult
 from repro.utils.rng import SeedLike
 
 __all__ = [
     "carry_over_assignment",
+    "remap_assignment_servers",
     "reassign",
     "incremental_reassign",
     "PolicySchedule",
@@ -100,6 +103,74 @@ def carry_over_assignment(
     )
 
 
+def remap_assignment_servers(
+    assignment: Assignment,
+    server_churn: ServerChurnResult,
+    new_instance: CAPInstance,
+    client_zones: np.ndarray,
+) -> Assignment:
+    """Translate an assignment onto a post-churn server fleet.
+
+    The assignment's client set is untouched (server churn is orthogonal to
+    client churn); only the server index space changes:
+
+    * Zones hosted by surviving servers keep their host (new index).
+    * Zones hosted by a *departed* server are evacuated: each orphaned zone,
+      in zone order, goes to the server with the most remaining capacity
+      (capacity accounted against ``new_instance``'s zone demands) — a
+      deterministic emergency placement that any repair policy can then
+      improve on.
+    * Contacts on surviving servers are re-indexed; contacts on departed
+      servers fall back to the client's (possibly evacuated) target server,
+      the same direct-connection default newly joined clients get.
+
+    Parameters
+    ----------
+    assignment:
+        The pre-churn assignment (server ids in the *old* index space).
+    server_churn:
+        The fleet delta, including the old→new server index map.
+    new_instance:
+        The post-churn instance (supplies the new fleet's capacities and the
+        zone demands used for evacuation placement).
+    client_zones:
+        Zone of each client *of the assignment's client set* — the pre-churn
+        ``instance.client_zones``, since client churn has not been applied to
+        this assignment yet.
+    """
+    if server_churn.is_identity:
+        return assignment
+    old_to_new = server_churn.old_to_new
+    zone_map = old_to_new[assignment.zone_to_server]
+
+    orphaned = np.flatnonzero(zone_map < 0)
+    if orphaned.size:
+        zone_demands = new_instance.zone_demands()
+        loads = np.zeros(new_instance.num_servers, dtype=np.float64)
+        hosted = zone_map >= 0
+        if hosted.any():
+            np.add.at(loads, zone_map[hosted], zone_demands[hosted])
+        free = new_instance.server_capacities - loads
+        for zone in orphaned:
+            target = int(np.argmax(free))
+            zone_map[zone] = target
+            free[target] -= zone_demands[zone]
+
+    contacts = old_to_new[assignment.contact_of_client]
+    lost = contacts < 0
+    if lost.any():
+        contacts[lost] = zone_map[np.asarray(client_zones, dtype=np.int64)[lost]]
+
+    return Assignment(
+        zone_to_server=zone_map,
+        contact_of_client=contacts,
+        algorithm=assignment.algorithm,
+        capacity_exceeded=assignment.capacity_exceeded,
+        runtime_seconds=assignment.runtime_seconds,
+        metadata=dict(assignment.metadata),
+    )
+
+
 def reassign(
     new_instance: CAPInstance,
     algorithm: str,
@@ -152,17 +223,28 @@ class PolicySchedule:
     ``period``-th epoch and applies ``action`` in between — the classic
     operator trade-off of scheduled rebalances with cheap repairs between
     them.
+
+    ``migration_budget`` makes a schedule *migration-aware*: when the
+    engine's :class:`~repro.dynamics.migration.MigrationCostModel` prices a
+    re-executed assignment's zone moves above this budget (cost units per
+    epoch), the engine demotes that epoch's re-execution to the cheap
+    incremental repair, which keeps the zone map and therefore migrates
+    nothing voluntarily.  The default (infinite) budget preserves the
+    classic, migration-oblivious behaviour.
     """
 
     name: str
     action: str
     period: int = 0
+    migration_budget: float = math.inf
 
     def __post_init__(self) -> None:
         if self.action not in POLICY_ACTIONS:
             raise ValueError(f"unknown action {self.action!r}; expected one of {POLICY_ACTIONS}")
         if self.period < 0:
             raise ValueError("period must be >= 0")
+        if self.migration_budget < 0:
+            raise ValueError("migration_budget must be >= 0")
 
     def action_for_epoch(self, epoch: int) -> str:
         """The action to apply at ``epoch`` (0-based)."""
@@ -174,6 +256,7 @@ class PolicySchedule:
 def make_policy(
     policy: Union[str, PolicySchedule],
     period: Optional[int] = None,
+    migration_budget: Optional[float] = None,
 ) -> PolicySchedule:
     """Normalise a policy name (or an existing schedule) into a schedule.
 
@@ -181,13 +264,16 @@ def make_policy(
     ``"every_k_epochs"`` (period taken from the ``period`` argument) and the
     literal spelling ``"every_<k>_epochs"`` (e.g. ``"every_5_epochs"``).
     ``every_k_epochs`` re-executes on each k-th epoch and repairs
-    incrementally in between.
+    incrementally in between.  ``migration_budget`` (cost units per epoch)
+    caps the migration bill of any re-execution the schedule triggers; see
+    :class:`PolicySchedule`.
     """
     if isinstance(policy, PolicySchedule):
         return policy
+    budget = math.inf if migration_budget is None else float(migration_budget)
     name = str(policy).strip().lower()
     if name in POLICY_ACTIONS:
-        return PolicySchedule(name=name, action=name)
+        return PolicySchedule(name=name, action=name, migration_budget=budget)
     match = _EVERY_K_RE.match(name)
     if match:
         period = int(match.group(1))
@@ -197,5 +283,10 @@ def make_policy(
                 "policy 'every_k_epochs' needs a positive period (e.g. period=5 "
                 "or the spelling 'every_5_epochs')"
             )
-        return PolicySchedule(name=f"every_{period}_epochs", action="incremental", period=period)
+        return PolicySchedule(
+            name=f"every_{period}_epochs",
+            action="incremental",
+            period=period,
+            migration_budget=budget,
+        )
     raise ValueError(f"unknown policy {policy!r}; expected one of {POLICY_NAMES}")

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import BACKENDS, ChurnSimulator
+from repro.dynamics.infrastructure import ServerChurnSpec
+from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import make_policy
 from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
@@ -70,6 +72,8 @@ def _execute_dynamics_run(task) -> GroupedRunningStats:
         config,
         algorithms,
         churn,
+        server_churn,
+        migration_cost,
         num_epochs,
         policy,
         policy_period,
@@ -83,6 +87,8 @@ def _execute_dynamics_run(task) -> GroupedRunningStats:
         scenario=scenario,
         algorithms=list(algorithms),
         churn_spec=churn,
+        server_churn_spec=server_churn,
+        migration_cost=migration_cost,
         seed=sim_rng,
         policy=policy,
         policy_period=policy_period,
@@ -108,6 +114,8 @@ def run_dynamics(
     policy_period: int = 0,
     backend: str = "delta",
     churn: ChurnSpec | None = None,
+    server_churn: Optional[ServerChurnSpec] = None,
+    migration_cost: Optional[MigrationCostModel] = None,
     correlation: float = 0.0,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
@@ -118,10 +126,13 @@ def run_dynamics(
     ``num_epochs`` churn epochs under the given repair policy, and the
     per-epoch pQoS values are aggregated across runs.  Runs are independent,
     so ``workers`` distributes them over a process pool exactly as in
-    :func:`~repro.experiments.runner.run_replications`.
+    :func:`~repro.experiments.runner.run_replications`.  ``server_churn``
+    adds infrastructure churn per epoch and ``migration_cost`` prices zone
+    moves (both default to the paper's fixed-fleet, free-migration setting).
     """
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
     churn = churn or ChurnSpec()
+    migration_cost = migration_cost or MigrationCostModel()
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     config = config_from_label(label, correlation=correlation)
@@ -133,6 +144,8 @@ def run_dynamics(
             config,
             tuple(algorithms),
             churn,
+            server_churn,
+            migration_cost,
             num_epochs,
             policy,
             policy_period,

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Union
 from repro.experiments import (
     ablation,
     baselines_compare,
+    controller,
     delay_bound,
     dynamics,
     figure4,
@@ -136,6 +137,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "Longitudinal churn: per-epoch pQoS under a repair-policy schedule",
         dynamics.run_dynamics,
         dynamics.format_dynamics,
+    ),
+    "controller": _spec(
+        "controller",
+        "(extension)",
+        "Rebalance-controller trigger policies under elastic churn with migration costs",
+        controller.run_controller,
+        controller.format_controller,
     ),
     "delay-bound": _spec(
         "delay-bound",

@@ -43,6 +43,7 @@ from repro.world.zones import VirtualWorld
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.dynamics.events import ChurnResult
+    from repro.dynamics.infrastructure import ServerChurnResult
 
 __all__ = ["DVEConfig", "DVEScenario", "build_scenario"]
 
@@ -265,6 +266,75 @@ class DVEScenario:
             client_server_delays=delays,
             server_server_delays=self.server_server_delays,
             client_demands=demands,
+        )
+
+    def with_servers(self, servers: ServerSet) -> "DVEScenario":
+        """Return a new scenario for a different server fleet snapshot.
+
+        The full client×server delay matrix and the inter-server mesh are
+        recomputed from the delay model; population, topology and
+        configuration are shared.  This is the executable specification that
+        :meth:`apply_server_delta` must match bit-for-bit.
+        """
+        if servers.nodes.size and servers.nodes.max() >= self.topology.num_nodes:
+            raise ValueError("servers refer to nodes outside this scenario's topology")
+        return DVEScenario(
+            config=self.config,
+            topology=self.topology,
+            delay_model=self.delay_model,
+            servers=servers,
+            world=self.world,
+            population=self.population,
+            client_server_delays=self.delay_model.client_server_delays(
+                self.population.nodes, servers.nodes
+            ),
+            server_server_delays=self.delay_model.server_server_delays(servers.nodes),
+            client_demands=self.client_demands,
+        )
+
+    def apply_server_delta(self, server_churn: "ServerChurnResult") -> "DVEScenario":
+        """Delta version of :meth:`with_servers` for an infrastructure churn batch.
+
+        Surviving servers' client-delay *columns* are carried over through the
+        churn's ``old_to_new`` map and only the joining servers' columns are
+        gathered from the delay model; the inter-server mesh is regathered in
+        full (it is ``m × m`` — negligible next to the client matrix).
+        Capacity drift lives entirely in the new :class:`ServerSet`, so
+        demands and population carry over untouched.
+
+        The result is bit-identical to ``self.with_servers(server_churn.servers)``:
+        both paths gather the same float64 entries from the same cached
+        all-pairs RTT matrix.
+        """
+        servers = server_churn.servers
+        if server_churn.old_to_new.shape[0] != self.num_servers:
+            raise ValueError(
+                f"server churn was generated against a fleet of "
+                f"{server_churn.old_to_new.shape[0]} servers, scenario has {self.num_servers}"
+            )
+        if servers.nodes.size and servers.nodes.max() >= self.topology.num_nodes:
+            raise ValueError("servers refer to nodes outside this scenario's topology")
+
+        delays = np.empty((self.num_clients, servers.num_servers), dtype=np.float64)
+        survivors_old = np.flatnonzero(server_churn.old_to_new >= 0)
+        delays[:, server_churn.old_to_new[survivors_old]] = self.client_server_delays[
+            :, survivors_old
+        ]
+        if server_churn.new_server_indices.size:
+            join_nodes = servers.nodes[server_churn.new_server_indices]
+            delays[:, server_churn.new_server_indices] = self.delay_model.client_server_delays(
+                self.population.nodes, join_nodes
+            )
+        return DVEScenario(
+            config=self.config,
+            topology=self.topology,
+            delay_model=self.delay_model,
+            servers=servers,
+            world=self.world,
+            population=self.population,
+            client_server_delays=delays,
+            server_server_delays=self.delay_model.server_server_delays(servers.nodes),
+            client_demands=self.client_demands,
         )
 
     def summary(self) -> dict:

@@ -176,6 +176,44 @@ class TestSimulateCommand:
         assert "every_2_epochs" in out
         assert "2 run(s)" in out
 
+    def test_simulate_elastic_flags(self, capsys, tmp_path):
+        path = tmp_path / "elastic.csv"
+        code = main(
+            [
+                "simulate",
+                *self.SMALL,
+                "--algorithms",
+                "grez-grec",
+                "--epochs",
+                "2",
+                "--server-churn",
+                "1:1:0.05",
+                "--migration-cost",
+                "1.5",
+                "--migration-budget",
+                "50",
+                "--csv",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 joins, 1 leaves, 0.05 capacity drift" in out
+        assert "migration cost / client" in out
+        header = path.read_text().strip().splitlines()[0]
+        assert "zones_migrated" in header
+        assert "clients_migrated" in header
+        assert "migration_cost" in header
+        assert "num_servers_after" in header
+
+    def test_simulate_rejects_bad_server_churn(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--server-churn", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--server-churn", "1:2:3:4"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--migration-cost", "-1"])
+
     def test_simulate_rejects_bad_epochs(self, capsys):
         assert main(["simulate", *self.SMALL, "--epochs", "0"]) == 2
         assert "--epochs" in capsys.readouterr().err

@@ -267,3 +267,87 @@ class TestDynamicsDriver:
             churn=ChurnSpec(5, 5, 5),
         )
         assert result.policy == "every_2_epochs"
+
+
+class TestControllerDriver:
+    def test_small_run_structure(self):
+        from repro.dynamics.controller import RebalancePolicy
+        from repro.dynamics.infrastructure import ServerChurnSpec
+        from repro.dynamics.migration import MigrationCostModel
+        from repro.experiments.controller import format_controller, run_controller
+
+        policies = {
+            "lazy": RebalancePolicy(target_pqos=0.5),
+            "eager": RebalancePolicy(target_pqos=0.99, repair_slack=0.0),
+        }
+        result = run_controller(
+            label=SMALL_LABEL,
+            algorithm="grez-grec",
+            policies=policies,
+            num_runs=2,
+            seed=0,
+            num_epochs=2,
+            churn=ChurnSpec(15, 15, 15),
+            server_churn=ServerChurnSpec(num_joins=1, num_leaves=1),
+            migration_cost=MigrationCostModel(cost_per_client=1.0),
+        )
+        assert result.policy_names == ["lazy", "eager"]
+        assert result.num_runs == 2 and result.num_epochs == 2
+        for name in result.policy_names:
+            assert result.stats[(name, "mean_pqos")].count == 2
+            assert 0.0 <= result.stats[(name, "mean_pqos")].mean <= 1.0
+            assert result.stats[(name, "migration_cost")].mean >= 0.0
+        # The eager policy re-executes more and migrates at least as much.
+        assert (
+            result.stats[("eager", "rebalances")].mean
+            >= result.stats[("lazy", "rebalances")].mean
+        )
+        text = format_controller(result)
+        assert "Rebalance controller" in text and SMALL_LABEL in text
+        assert "migration cost" in text
+
+    def test_default_policy_ladder_resolves_budget(self):
+        from repro.experiments.controller import run_controller
+
+        result = run_controller(
+            label=SMALL_LABEL,
+            num_runs=1,
+            seed=1,
+            num_epochs=2,
+            churn=ChurnSpec(10, 10, 10),
+        )
+        assert any("budgeted" in name for name in result.policy_names)
+        assert result.migration_cost.cost_per_client == 1.0
+        assert result.server_churn is not None
+
+    def test_workers_do_not_change_results(self):
+        from repro.experiments.controller import run_controller
+
+        kwargs = dict(
+            label=SMALL_LABEL,
+            num_runs=2,
+            seed=4,
+            num_epochs=2,
+            churn=ChurnSpec(10, 10, 10),
+        )
+        serial = run_controller(**kwargs, workers=None)
+        parallel = run_controller(**kwargs, workers=2)
+        for key, stat in serial.stats.items():
+            assert stat.mean == parallel.stats[key].mean
+
+    def test_every_policy_replays_the_same_churn_stream(self):
+        """Two identically-configured policies must see identical runs."""
+        from repro.dynamics.controller import RebalancePolicy
+        from repro.experiments.controller import run_controller
+
+        twin = dict(target_pqos=0.9, repair_slack=0.05)
+        result = run_controller(
+            label=SMALL_LABEL,
+            policies={"a": RebalancePolicy(**twin), "b": RebalancePolicy(**twin)},
+            num_runs=2,
+            seed=7,
+            num_epochs=3,
+            churn=ChurnSpec(15, 15, 15),
+        )
+        for metric in ("mean_pqos", "worst_pqos", "repairs", "rebalances", "migration_cost"):
+            assert result.stats[("a", metric)].mean == result.stats[("b", metric)].mean

@@ -15,7 +15,7 @@ class TestExperimentRegistry:
 
     def test_extensions_registered(self):
         ids = experiment_ids()
-        for expected in ("ablation", "baselines", "runtime"):
+        for expected in ("ablation", "baselines", "runtime", "dynamics", "controller"):
             assert expected in ids
 
     def test_ids_sorted(self):
