@@ -11,6 +11,9 @@ runnable as ``python -m repro``.  Four sub-commands:
 * ``repro-dve simulate`` — longitudinal churn simulation: stream epoch
   records through a repair-policy schedule (optionally to CSV) and print a
   streaming summary.
+* ``repro-dve federate`` — federated multi-shard simulation: several DVE
+  shards on one topology and fleet, with cross-shard capacity arbitration
+  between epochs.
 """
 
 from __future__ import annotations
@@ -22,10 +25,12 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import repro.baselines  # noqa: F401  (registers the baseline solvers)
 from repro import __version__
 from repro.core import CAPInstance
+from repro.core.arbitration import ARBITER_NAMES, make_arbiter
 from repro.core.regret import BACKENDS as SOLVER_BACKENDS, DEFAULT_BACKEND
 from repro.core.registry import solve as registry_solve, solver_names
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
+from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimulator
 from repro.dynamics.infrastructure import ServerChurnSpec
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import POLICY_NAMES, make_policy
@@ -37,6 +42,7 @@ from repro.metrics import GroupedRunningStats, qos_report, resource_report
 from repro.utils.pool import ordered_map
 from repro.utils.rng import as_generator, spawn_generators
 from repro.world import build_scenario
+from repro.world.federation import build_federation
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +77,19 @@ def _server_churn_type(value: str) -> ServerChurnSpec:
         raise argparse.ArgumentTypeError(f"invalid --server-churn {value!r}: {exc}") from None
 
 
+def _weights_type(value: str) -> tuple:
+    """argparse type for ``--shard-weights``: comma-separated positive floats."""
+    try:
+        weights = tuple(float(part) for part in value.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {value!r}"
+        ) from None
+    if not weights or any(w <= 0 for w in weights):
+        raise argparse.ArgumentTypeError("every shard weight must be positive")
+    return weights
+
+
 def _non_negative_float(value: str) -> float:
     """argparse type for non-negative float options."""
     try:
@@ -79,6 +98,17 @@ def _non_negative_float(value: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return parsed
+
+
+def _fraction_type(value: str) -> float:
+    """argparse type for fractions in (0, 1] (e.g. ``--min-slice``)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if not 0.0 < parsed <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
     return parsed
 
 
@@ -240,6 +270,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every epoch record to this CSV file as it is produced",
     )
     _add_solver_backend_flag(sim)
+
+    # federate ---------------------------------------------------------------
+    fedp = sub.add_parser(
+        "federate",
+        help="federated multi-shard simulation with cross-shard capacity arbitration",
+    )
+    fedp.add_argument(
+        "--config",
+        default=PAPER_DEFAULT_LABEL,
+        help="base DVE configuration label; its clients are split across the shards",
+    )
+    fedp.add_argument("--shards", type=int, default=3, help="number of shards (worlds)")
+    fedp.add_argument(
+        "--shard-weights",
+        type=_weights_type,
+        default=None,
+        metavar="W1,W2,...",
+        help=(
+            "per-shard client-population weights (default: descending N,...,1 — "
+            "a skewed federation, the interesting case for arbitration)"
+        ),
+    )
+    fedp.add_argument(
+        "--arbiter",
+        default="proportional",
+        choices=ARBITER_NAMES,
+        help="cross-shard capacity arbiter run between epochs",
+    )
+    fedp.add_argument(
+        "--min-slice",
+        type=_fraction_type,
+        default=0.02,
+        metavar="FRACTION",
+        help="minimum slice of every server each shard keeps (fraction of capacity)",
+    )
+    fedp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["grez-grec"],
+        help="solver names tracked in every shard (first drives arbitration signals)",
+    )
+    fedp.add_argument("--epochs", type=int, default=10, help="number of churn epochs")
+    fedp.add_argument(
+        "--policy",
+        default="reexecute",
+        choices=sorted(POLICY_NAMES),
+        help="per-epoch repair action schedule (applied in every shard)",
+    )
+    fedp.add_argument(
+        "--period", type=int, default=0, help="re-execution period for every_k_epochs"
+    )
+    fedp.add_argument(
+        "--backend", default="delta", choices=BACKENDS, help="world-advance backend"
+    )
+    fedp.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    fedp.add_argument(
+        "--runs", type=int, default=1, help="independent replications to aggregate over"
+    )
+    fedp.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=None,
+        help="worker processes when --runs > 1 (default: serial; 0 = one per CPU)",
+    )
+    fedp.add_argument(
+        "--churn-fraction",
+        type=_non_negative_float,
+        default=0.1,
+        metavar="FRACTION",
+        help="per-epoch joins/leaves/moves, as a fraction of each shard's clients",
+    )
+    fedp.add_argument(
+        "--migration-cost",
+        type=_non_negative_float,
+        default=1.0,
+        metavar="PER_CLIENT",
+        help="state-transfer cost per migrated client (default: 1)",
+    )
+    fedp.add_argument(
+        "--migration-budget",
+        type=_non_negative_float,
+        default=None,
+        metavar="COST",
+        help="per-shard per-epoch migration budget (default: unlimited)",
+    )
+    fedp.add_argument(
+        "--correlation", type=float, default=0.0, help="physical-virtual correlation delta"
+    )
+    fedp.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="stream every per-shard and aggregate record to this CSV file",
+    )
+    _add_solver_backend_flag(fedp)
 
     return parser
 
@@ -485,6 +610,190 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_federated_simulator(args: argparse.Namespace, config, rng) -> FederatedSimulator:
+    """Materialise one federation replication from the CLI arguments."""
+    fed_rng, sim_rng = spawn_generators(rng, 2)
+    weights = (
+        list(args.shard_weights)
+        if args.shard_weights is not None
+        else [float(args.shards - i) for i in range(args.shards)]
+    )
+    world = build_federation(
+        config, num_shards=args.shards, seed=fed_rng, client_weights=weights
+    )
+    churn_specs = [
+        ChurnSpec(
+            num_joins=round(args.churn_fraction * shard.num_clients),
+            num_leaves=round(args.churn_fraction * shard.num_clients),
+            num_moves=round(args.churn_fraction * shard.num_clients),
+        )
+        for shard in world.shards
+    ]
+    return FederatedSimulator(
+        world=world,
+        algorithms=list(args.algorithms),
+        arbiter=make_arbiter(
+            args.arbiter,
+            min_slice_fraction=args.min_slice,
+            solver_backend=args.solver_backend,
+        ),
+        churn_spec=churn_specs,
+        migration_cost=MigrationCostModel(cost_per_client=args.migration_cost),
+        seed=sim_rng,
+        policy=args.policy,
+        policy_period=args.period,
+        policy_migration_budget=args.migration_budget,
+        backend=args.backend,
+        solver_backend=args.solver_backend,
+    )
+
+
+def _execute_federate_run(task) -> List[EpochRecord]:
+    """One replication of the federate command (worker-side; must be picklable)."""
+    import repro.baselines  # noqa: F401 — repopulate the registry under spawn
+
+    args, config, rng = task
+    return _build_federated_simulator(args, config, rng).run(args.epochs)
+
+
+def _federate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, EpochRecord]]:
+    """Yield ``(run_index, record)`` pairs, streaming whenever possible."""
+    rng = as_generator(args.seed)
+    run_rngs = spawn_generators(rng, args.runs)
+    if args.runs == 1:
+        simulator = _build_federated_simulator(args, config, run_rngs[0])
+        for record in simulator.stream(args.epochs):
+            yield 0, record
+        return
+    tasks = [(args, config, run_rngs[i]) for i in range(args.runs)]
+    for run_index, records in enumerate(
+        ordered_map(_execute_federate_run, tasks, workers=args.workers)
+    ):
+        for record in records:
+            yield run_index, record
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shard_weights is not None and len(args.shard_weights) != args.shards:
+        print(
+            f"error: --shard-weights needs exactly {args.shards} values",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        schedule = make_policy(args.policy, period=args.period or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = config_from_label(args.config, correlation=args.correlation)
+
+    print(
+        format_kv(
+            {
+                "config": config.label,
+                "shards": args.shards,
+                "shard weights": (
+                    "descending"
+                    if args.shard_weights is None
+                    else ", ".join(f"{w:g}" for w in args.shard_weights)
+                ),
+                "arbiter": args.arbiter,
+                "algorithms": ", ".join(args.algorithms),
+                "epochs": args.epochs,
+                "policy": schedule.name,
+                "backend": args.backend,
+                "churn fraction per epoch": args.churn_fraction,
+                "migration cost / client": args.migration_cost,
+                "migration budget / shard": (
+                    "unlimited" if args.migration_budget is None else args.migration_budget
+                ),
+                "runs": args.runs,
+                "seed": args.seed,
+            },
+            title="Federated simulation",
+        )
+    )
+    print()
+
+    stats = GroupedRunningStats()
+    num_records = 0
+
+    def consume(pairs: Iterator[Tuple[int, EpochRecord]]) -> None:
+        nonlocal num_records
+        for run_index, record in pairs:
+            if writer is not None:
+                writer.append([run_index, *record.federated_row()])
+            key = (record.algorithm, record.shard_id)
+            stats.add((*key, "after"), record.pqos_after)
+            stats.add((*key, "adopted"), record.pqos_adopted)
+            stats.add((*key, "migrated"), float(record.clients_migrated))
+            stats.add((*key, "migration_cost"), record.migration_cost)
+            if record.epoch == args.epochs - 1:
+                stats.add((*key, "final"), record.pqos_adopted)
+                stats.add((*key, "clients"), float(record.num_clients_after))
+            num_records += 1
+
+    pairs = _federate_records(args, config)
+    writer = None
+    if args.csv:
+        with CsvAppender(args.csv, ["run", *EpochRecord.FEDERATED_FIELDS]) as writer:
+            consume(pairs)
+    else:
+        consume(pairs)
+
+    rows = []
+    worst = {}
+    for name in args.algorithms:
+        for shard in [*range(args.shards), AGGREGATE_SHARD_ID]:
+            adopted = stats.stat((name, shard, "adopted")).mean
+            if shard != AGGREGATE_SHARD_ID:
+                worst[name] = min(worst.get(name, 1.0), adopted)
+            rows.append(
+                [
+                    name,
+                    "aggregate" if shard == AGGREGATE_SHARD_ID else f"shard {shard}",
+                    stats.stat((name, shard, "clients")).mean,
+                    stats.stat((name, shard, "after")).mean,
+                    adopted,
+                    stats.stat((name, shard, "final")).mean,
+                    stats.stat((name, shard, "migrated")).mean,
+                    stats.stat((name, shard, "migration_cost")).mean,
+                ]
+            )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "shard",
+                "clients",
+                "stale pQoS",
+                "adopted pQoS",
+                "final pQoS",
+                "migrated / epoch",
+                "migration cost / epoch",
+            ],
+            rows,
+            title=(
+                f"Summary over {args.epochs} epochs × {args.runs} run(s); worst shard "
+                + ", ".join(f"{name}: {value:.3f}" for name, value in worst.items())
+            ),
+            float_format=".3f",
+        )
+    )
+    if args.csv:
+        print(f"\n[{num_records} records streamed to {args.csv}]")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
     if args.workers is not None and not spec.supports_workers:
@@ -515,6 +824,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "federate":
+        return _cmd_federate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -19,6 +19,16 @@ Public surface:
   harness and CLI.
 """
 
+from repro.core.arbitration import (
+    ARBITER_NAMES,
+    CapacityArbiter,
+    ProportionalArbiter,
+    RegretArbiter,
+    ShardSignal,
+    StaticArbiter,
+    check_slices,
+    make_arbiter,
+)
 from repro.core.assignment import Assignment, ZoneAssignment, server_loads, zone_server_loads
 from repro.core.costs import (
     delays_to_targets,
@@ -101,4 +111,12 @@ __all__ = [
     "register_solver",
     "solve",
     "solver_names",
+    "ARBITER_NAMES",
+    "CapacityArbiter",
+    "StaticArbiter",
+    "ProportionalArbiter",
+    "RegretArbiter",
+    "ShardSignal",
+    "check_slices",
+    "make_arbiter",
 ]

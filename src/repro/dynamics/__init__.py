@@ -3,8 +3,9 @@
 Reproduces the paper's Table 3 experiment (join / leave / move churn with
 re-execution of the assignment algorithms) and extends it with repair
 policies, a multi-epoch churn simulator, elastic infrastructure churn
-(servers joining / leaving, capacity drift), a zone migration cost model and
-a migration-aware rebalance controller.
+(servers joining / leaving, capacity drift), a zone migration cost model,
+a migration-aware rebalance controller and a federated multi-shard engine
+with cross-shard capacity arbitration.
 """
 
 from repro.dynamics.churn import ChurnSpec, generate_churn
@@ -14,7 +15,14 @@ from repro.dynamics.controller import (
     RebalanceStep,
     RebalanceTrace,
 )
-from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord, SimulationState
+from repro.dynamics.engine import (
+    BACKENDS,
+    ChurnSimulator,
+    EpochRecord,
+    EpochSession,
+    SimulationState,
+)
+from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimulator
 from repro.dynamics.infrastructure import (
     ServerChurnBatch,
     ServerChurnResult,
@@ -65,8 +73,11 @@ __all__ = [
     "POLICY_NAMES",
     "ChurnSimulator",
     "EpochRecord",
+    "EpochSession",
     "SimulationState",
     "BACKENDS",
+    "FederatedSimulator",
+    "AGGREGATE_SHARD_ID",
     "RebalanceController",
     "RebalancePolicy",
     "RebalanceStep",

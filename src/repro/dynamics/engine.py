@@ -56,8 +56,9 @@ from repro.dynamics.policies import (
 )
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import DVEScenario
+from repro.world.servers import ServerSet
 
-__all__ = ["EpochRecord", "SimulationState", "ChurnSimulator", "BACKENDS"]
+__all__ = ["EpochRecord", "SimulationState", "ChurnSimulator", "EpochSession", "BACKENDS"]
 
 #: World-advance backends: delta updates vs full rebuild (the executable spec).
 BACKENDS = ("delta", "rebuild")
@@ -81,6 +82,12 @@ class EpochRecord:
     (including evacuations forced by departing servers) under the engine's
     :class:`~repro.dynamics.migration.MigrationCostModel`, so disruption can
     be compared across policies from the CSV stream alone.
+
+    ``shard_id`` addresses the record within a federated multi-shard run
+    (:class:`~repro.dynamics.federation_engine.FederatedSimulator`); the
+    default ``-1`` means "whole system / unsharded" and is deliberately NOT
+    part of :data:`FIELDS`, so the classic ``simulate --csv`` stream stays
+    byte-identical — federated consumers use :data:`FEDERATED_FIELDS`.
     """
 
     epoch: int
@@ -100,8 +107,11 @@ class EpochRecord:
     zones_migrated: int = 0
     clients_migrated: int = 0
     migration_cost: float = 0.0
+    shard_id: int = -1
 
     #: CSV / JSON column order used by the ``simulate`` CLI and benchmarks.
+    #: Frozen for backward compatibility: ``shard_id`` is intentionally absent
+    #: (unsharded output predates federation and must not change).
     FIELDS = (
         "epoch",
         "algorithm",
@@ -122,9 +132,18 @@ class EpochRecord:
         "migration_cost",
     )
 
+    #: Column order for federated streams: the shard address, then the classic
+    #: measurement columns (so a federated CSV is the classic CSV plus one
+    #: leading shard column).
+    FEDERATED_FIELDS = ("shard_id", *FIELDS)
+
     def row(self) -> list:
         """The record as a flat list in :data:`FIELDS` order."""
         return [getattr(self, name) for name in self.FIELDS]
+
+    def federated_row(self) -> list:
+        """The record as a flat list in :data:`FEDERATED_FIELDS` order."""
+        return [getattr(self, name) for name in self.FEDERATED_FIELDS]
 
 
 @dataclass
@@ -271,11 +290,17 @@ class ChurnSimulator:
                 new_scenario = new_scenario.with_servers(server_churn.servers)
             new_scenario = new_scenario.with_population(churn.population)
             return new_scenario, CAPInstance.from_scenario(new_scenario)
-        mid_scenario = (
-            state.scenario
-            if server_churn is None
-            else state.scenario.apply_server_delta(server_churn)
-        )
+        if server_churn is None:
+            mid_scenario = state.scenario
+        elif server_churn.is_identity:
+            # Capacity-only delta (drift, or a federation capacity re-slice):
+            # the server index space is unchanged, so the delay matrices carry
+            # over by identity instead of being re-gathered column by column.
+            mid_scenario = state.scenario.with_server_capacities(
+                server_churn.servers.capacities
+            )
+        else:
+            mid_scenario = state.scenario.apply_server_delta(server_churn)
         new_scenario = mid_scenario.apply_churn_delta(churn)
         if state.instance.mirrors_arrays_of(state.scenario):
             # The state only ever advanced through the delta pipeline, so the
@@ -306,79 +331,28 @@ class ChurnSimulator:
         return new_scenario, new_instance
 
     # ------------------------------------------------------------------ #
+    def session(self, num_epochs: int = 1) -> "EpochSession":
+        """A step-wise driver over this simulator's epochs.
+
+        :meth:`stream` consumes a session internally; external drivers (the
+        federation engine) use the session directly so they can interleave
+        work — capacity re-slices from a cross-shard arbiter — between
+        epochs without forking the epoch semantics.
+        """
+        return EpochSession(self, num_epochs)
+
     def stream(self, num_epochs: int = 1) -> Iterator[EpochRecord]:
         """Run ``num_epochs`` churn epochs, yielding records as they complete.
 
-        Records stream out one (epoch, algorithm) at a time, so arbitrarily
-        long runs can be consumed with O(1) record memory.  Each algorithm
-        evolves its own assignment: after every epoch the assignment the
-        policy adopted becomes the algorithm's current assignment for the
-        next epoch.
+        Records stream out epoch by epoch, so arbitrarily long runs can be
+        consumed with O(algorithms) record memory.  Each algorithm evolves
+        its own assignment: after every epoch the assignment the policy
+        adopted becomes the algorithm's current assignment for the next
+        epoch.
         """
-        if num_epochs < 1:
-            raise ValueError("num_epochs must be >= 1")
-        schedule = make_policy(
-            self.policy,
-            period=self.policy_period or None,
-            migration_budget=self.policy_migration_budget,
-        )
-        rng = as_generator(self.seed)
-        state = self.initial_state(rng)
-        epoch_rngs = spawn_generators(rng, num_epochs)
-        server_active = self._server_churn_active
-
-        for epoch in range(num_epochs):
-            # The extra server-churn sub-stream is spawned only when the fleet
-            # actually churns, so static-fleet runs replay the exact RNG
-            # layout (and records) of the pre-elastic engine.
-            if server_active:
-                churn_rng, server_rng, *reassign_rngs = spawn_generators(
-                    epoch_rngs[epoch], 2 + len(self.algorithms)
-                )
-            else:
-                server_rng = None
-                churn_rng, *reassign_rngs = spawn_generators(
-                    epoch_rngs[epoch], 1 + len(self.algorithms)
-                )
-            batch = generate_churn(state.scenario, self.churn_spec, seed=churn_rng)
-            churn = apply_churn(state.scenario.population, batch)
-            server_churn: Optional[ServerChurnResult] = None
-            if server_active:
-                server_batch = generate_server_churn(
-                    state.scenario.servers,
-                    self.server_churn_spec,
-                    num_nodes=state.scenario.topology.num_nodes,
-                    seed=server_rng,
-                )
-                server_churn = apply_server_churn(state.scenario.servers, server_batch)
-            new_scenario, new_instance = self._advance_world(state, churn, server_churn)
-            action = schedule.action_for_epoch(epoch)
-
-            next_assignments: Dict[str, Assignment] = {}
-            next_measures: Dict[str, tuple] = {}
-            for i, name in enumerate(self.algorithms):
-                old_assignment = state.assignments[name]
-                record, adopted = self._process_algorithm(
-                    state,
-                    epoch,
-                    name,
-                    old_assignment,
-                    churn,
-                    server_churn,
-                    new_instance,
-                    schedule,
-                    action,
-                    reassign_rngs[i],
-                )
-                next_assignments[name] = adopted
-                next_measures[name] = (record.pqos_adopted, record.utilization_adopted)
-                yield record
-
-            state.scenario = new_scenario
-            state.instance = new_instance
-            state.assignments = next_assignments
-            state.measures = next_measures
-            state.epoch = epoch + 1
+        session = self.session(num_epochs)
+        while not session.done:
+            yield from session.run_epoch()
 
     def run(self, num_epochs: int = 1) -> List[EpochRecord]:
         """Eager list version of :meth:`stream` (one record per epoch × algorithm)."""
@@ -526,7 +500,12 @@ class ChurnSimulator:
     # ------------------------------------------------------------------ #
     @staticmethod
     def records_equal(a: EpochRecord, b: EpochRecord) -> bool:
-        """Field-wise equality that treats NaN == NaN (for equivalence tests)."""
+        """Field-wise equality that treats NaN == NaN (for equivalence tests).
+
+        Compares the measurement columns (:data:`EpochRecord.FIELDS`) only;
+        ``shard_id`` is an addressing label, not a measurement, so a federated
+        shard's record can equal the stand-alone simulator's record.
+        """
         for name in EpochRecord.FIELDS:
             va, vb = getattr(a, name), getattr(b, name)
             if isinstance(va, float) and isinstance(vb, float):
@@ -537,3 +516,141 @@ class ChurnSimulator:
             elif va != vb:
                 return False
         return True
+
+
+class EpochSession:
+    """Step-wise execution of a :class:`ChurnSimulator`, one epoch per call.
+
+    Holds exactly the per-run state the old monolithic ``stream`` loop held —
+    the mutable :class:`SimulationState`, the resolved policy schedule and the
+    per-epoch RNG streams — but exposes the epoch as a unit of work, so a
+    higher-level driver can do things *between* epochs.  The federation
+    engine uses this to apply cross-shard capacity arbitration: a capacity
+    re-slice enters the next epoch as an identity-mapped
+    :class:`~repro.dynamics.infrastructure.ServerChurnResult`, flowing through
+    the exact world-advance / remap / repair / billing path that generated
+    infrastructure churn takes.
+
+    The RNG layout is identical to the pre-session engine for any seed and
+    epoch count (the constructor replays the exact draw order of the old
+    loop), so ``ChurnSimulator.stream`` records are bit-for-bit unchanged —
+    and an externally supplied capacity delta consumes no randomness, so
+    supplying one never perturbs the churn streams.
+    """
+
+    def __init__(self, simulator: ChurnSimulator, num_epochs: int):
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        self.simulator = simulator
+        self.schedule = make_policy(
+            simulator.policy,
+            period=simulator.policy_period or None,
+            migration_budget=simulator.policy_migration_budget,
+        )
+        rng = as_generator(simulator.seed)
+        self.state = simulator.initial_state(rng)
+        self.epoch_rngs = spawn_generators(rng, num_epochs)
+        self.num_epochs = num_epochs
+
+    @property
+    def done(self) -> bool:
+        """True when every scheduled epoch has run."""
+        return self.state.epoch >= self.num_epochs
+
+    def _external_capacity_delta(self, capacities: np.ndarray) -> ServerChurnResult:
+        """Wrap a per-server capacity vector as an identity fleet delta."""
+        servers = self.state.scenario.servers
+        capacities = np.asarray(capacities, dtype=np.float64)
+        if capacities.shape != (servers.num_servers,):
+            raise ValueError(
+                f"capacity_delta must have shape ({servers.num_servers},), "
+                f"got {capacities.shape}"
+            )
+        return ServerChurnResult(
+            servers=ServerSet(nodes=servers.nodes, capacities=capacities),
+            old_to_new=np.arange(servers.num_servers, dtype=np.int64),
+            new_server_indices=np.zeros(0, dtype=np.int64),
+        )
+
+    def run_epoch(self, capacity_delta: Optional[np.ndarray] = None) -> List[EpochRecord]:
+        """Run the next epoch and return its records (one per algorithm).
+
+        Parameters
+        ----------
+        capacity_delta:
+            Optional ``(num_servers,)`` replacement capacity vector applied
+            to the fleet at the start of this epoch (a federation capacity
+            re-slice).  The fleet's nodes are unchanged — only capacities
+            move — so assignments carry over index-for-index and the repair
+            policies see the new capacities; any zone moves the repair then
+            makes are billed as usual.  Mutually exclusive with the
+            simulator's own ``server_churn_spec`` (a federated shard's fleet
+            is controlled by the arbiter, not by per-shard churn).
+        """
+        if self.done:
+            raise ValueError(f"session already ran all {self.num_epochs} epochs")
+        sim = self.simulator
+        state = self.state
+        epoch = state.epoch
+        server_active = sim._server_churn_active
+        if capacity_delta is not None and server_active:
+            raise ValueError(
+                "an external capacity delta cannot be combined with the "
+                "simulator's own server_churn_spec"
+            )
+
+        # The extra server-churn sub-stream is spawned only when the fleet
+        # actually churns, so static-fleet runs replay the exact RNG layout
+        # (and records) of the pre-elastic engine.
+        if server_active:
+            churn_rng, server_rng, *reassign_rngs = spawn_generators(
+                self.epoch_rngs[epoch], 2 + len(sim.algorithms)
+            )
+        else:
+            server_rng = None
+            churn_rng, *reassign_rngs = spawn_generators(
+                self.epoch_rngs[epoch], 1 + len(sim.algorithms)
+            )
+        batch = generate_churn(state.scenario, sim.churn_spec, seed=churn_rng)
+        churn = apply_churn(state.scenario.population, batch)
+        server_churn: Optional[ServerChurnResult] = None
+        if server_active:
+            server_batch = generate_server_churn(
+                state.scenario.servers,
+                sim.server_churn_spec,
+                num_nodes=state.scenario.topology.num_nodes,
+                seed=server_rng,
+            )
+            server_churn = apply_server_churn(state.scenario.servers, server_batch)
+        elif capacity_delta is not None:
+            server_churn = self._external_capacity_delta(capacity_delta)
+        new_scenario, new_instance = sim._advance_world(state, churn, server_churn)
+        action = self.schedule.action_for_epoch(epoch)
+
+        records: List[EpochRecord] = []
+        next_assignments: Dict[str, Assignment] = {}
+        next_measures: Dict[str, tuple] = {}
+        for i, name in enumerate(sim.algorithms):
+            old_assignment = state.assignments[name]
+            record, adopted = sim._process_algorithm(
+                state,
+                epoch,
+                name,
+                old_assignment,
+                churn,
+                server_churn,
+                new_instance,
+                self.schedule,
+                action,
+                reassign_rngs[i],
+            )
+            next_assignments[name] = adopted
+            next_measures[name] = (record.pqos_adopted, record.utilization_adopted)
+            records.append(record)
+
+        state.scenario = new_scenario
+        state.instance = new_instance
+        state.assignments = next_assignments
+        state.measures = next_measures
+        state.epoch = epoch + 1
+        return records

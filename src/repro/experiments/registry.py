@@ -17,6 +17,7 @@ from repro.experiments import (
     controller,
     delay_bound,
     dynamics,
+    federation,
     figure4,
     figure5,
     figure6,
@@ -144,6 +145,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "Rebalance-controller trigger policies under elastic churn with migration costs",
         controller.run_controller,
         controller.format_controller,
+    ),
+    "federation": _spec(
+        "federation",
+        "(extension)",
+        "Cross-shard capacity arbiters on a federated multi-shard world",
+        federation.run_federation,
+        federation.format_federation,
     ),
     "delay-bound": _spec(
         "delay-bound",

@@ -31,6 +31,13 @@ from repro.world.distributions import (
     sample_client_zones,
     zone_weights,
 )
+from repro.world.federation import (
+    FederatedWorld,
+    build_federation,
+    equal_slices,
+    split_client_counts,
+    weighted_slices,
+)
 from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
 from repro.world.servers import MBPS, ServerSet, allocate_capacities
 from repro.world.zones import VirtualWorld
@@ -55,4 +62,9 @@ __all__ = [
     "allocate_capacities",
     "MBPS",
     "VirtualWorld",
+    "FederatedWorld",
+    "build_federation",
+    "equal_slices",
+    "weighted_slices",
+    "split_client_counts",
 ]

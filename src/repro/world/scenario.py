@@ -292,6 +292,28 @@ class DVEScenario:
             client_demands=self.client_demands,
         )
 
+    def with_server_capacities(self, capacities: np.ndarray) -> "DVEScenario":
+        """Return a new scenario whose fleet has different capacities only.
+
+        The server *index space* is unchanged — same nodes, same order — so
+        every delay matrix, the population and the demands carry over by
+        identity (no gather, no copy): this is the O(num_servers) path for
+        capacity-only fleet changes (drift batches, federation capacity
+        re-slices), where :meth:`apply_server_delta` would re-gather the full
+        client×server matrix just to reproduce it.
+        """
+        return DVEScenario(
+            config=self.config,
+            topology=self.topology,
+            delay_model=self.delay_model,
+            servers=ServerSet(nodes=self.servers.nodes, capacities=capacities),
+            world=self.world,
+            population=self.population,
+            client_server_delays=self.client_server_delays,
+            server_server_delays=self.server_server_delays,
+            client_demands=self.client_demands,
+        )
+
     def apply_server_delta(self, server_churn: "ServerChurnResult") -> "DVEScenario":
         """Delta version of :meth:`with_servers` for an infrastructure churn batch.
 
@@ -358,6 +380,7 @@ def build_scenario(
     seed: SeedLike = None,
     topology: Optional[Topology] = None,
     delay_model: Optional[DelayModel] = None,
+    servers: Optional[ServerSet] = None,
 ) -> DVEScenario:
     """Materialise a :class:`DVEScenario` from a configuration.
 
@@ -373,6 +396,14 @@ def build_scenario(
         Optionally reuse an existing topology (and its expensive all-pairs
         delay matrix) across scenarios — the experiment runner does this when
         averaging over many simulation runs on the same substrate.
+    servers:
+        Optionally supply the server fleet instead of placing and sizing one
+        from the config (requires ``topology``).  The federation layer uses
+        this to hand every shard the same fleet nodes with per-shard capacity
+        slices; ``config.num_servers`` / capacity knobs are ignored then.
+        The client-side RNG sub-streams are unaffected: the placement and
+        capacity streams are spawned (to keep the stream layout identical to
+        a config-built scenario) but never drawn from.
     """
     config = config or DVEConfig()
     rng = as_generator(seed)
@@ -385,6 +416,8 @@ def build_scenario(
     ) = spawn_generators(rng, 5)
 
     if topology is None:
+        if servers is not None:
+            raise ValueError("supplying servers requires supplying their topology too")
         topology = generate_topology(config.topology, seed=topo_rng)
     if delay_model is None:
         delay_model = DelayModel(
@@ -395,15 +428,18 @@ def build_scenario(
     elif delay_model.topology is not topology:
         raise ValueError("delay_model must be built from the supplied topology")
 
-    server_nodes = place_servers(topology, config.num_servers, seed=server_rng)
-    capacities = allocate_capacities(
-        config.num_servers,
-        config.total_capacity_mbps,
-        min_capacity_mbps=config.min_server_capacity_mbps,
-        scheme=config.capacity_scheme,
-        seed=capacity_rng,
-    )
-    servers = ServerSet(nodes=server_nodes, capacities=capacities)
+    if servers is None:
+        server_nodes = place_servers(topology, config.num_servers, seed=server_rng)
+        capacities = allocate_capacities(
+            config.num_servers,
+            config.total_capacity_mbps,
+            min_capacity_mbps=config.min_server_capacity_mbps,
+            scheme=config.capacity_scheme,
+            seed=capacity_rng,
+        )
+        servers = ServerSet(nodes=server_nodes, capacities=capacities)
+    elif servers.nodes.size and servers.nodes.max() >= topology.num_nodes:
+        raise ValueError("servers refer to nodes outside the supplied topology")
 
     spec = config.distribution_spec
     client_nodes = sample_client_nodes(topology, config.num_clients, spec, seed=client_node_rng)

@@ -49,6 +49,11 @@ class ServerSet:
         object.__setattr__(self, "capacities", np.asarray(self.capacities, dtype=np.float64))
         if self.nodes.ndim != 1:
             raise ValueError("nodes must be a 1-D array")
+        if self.nodes.size and self.nodes.min() < 0:
+            # Negative indices would silently wrap in every delay-matrix
+            # gather; the upper bound is checked against the topology by the
+            # scenario layer (the server set itself does not know it).
+            raise ValueError("server nodes must be non-negative topology indices")
         if self.capacities.shape != self.nodes.shape:
             raise ValueError("capacities must have one entry per server")
         if self.num_servers == 0:

@@ -273,3 +273,131 @@ class TestSimulateCommand:
     def test_simulate_rejects_unknown_solver_backend(self):
         with pytest.raises(SystemExit):
             main(["simulate", *self.SMALL, "--solver-backend", "gpu"])
+
+
+class TestSimulateCsvHeaderRegression:
+    """Satellite: the unsharded CSV stream is frozen — shard_id must not leak in."""
+
+    #: The exact pre-federation column set, in order.  Changing this tuple is
+    #: a breaking change for every consumer of `simulate --csv`.
+    EXPECTED_HEADER = (
+        "run,epoch,algorithm,policy,num_clients_before,num_clients_after,"
+        "num_servers_after,pqos_before,pqos_after,pqos_reexecuted,pqos_incremental,"
+        "pqos_adopted,utilization_before,utilization_reexecuted,utilization_adopted,"
+        "zones_migrated,clients_migrated,migration_cost"
+    )
+
+    def test_epoch_record_fields_frozen(self):
+        from repro.dynamics.engine import EpochRecord
+
+        assert ",".join(["run", *EpochRecord.FIELDS]) == self.EXPECTED_HEADER
+        assert "shard_id" not in EpochRecord.FIELDS
+        assert EpochRecord.FEDERATED_FIELDS[0] == "shard_id"
+
+    def test_simulate_csv_header_byte_identical(self, tmp_path):
+        path = tmp_path / "frozen.csv"
+        args = [
+            "simulate",
+            "--config",
+            "4s-8z-80c-60cp",
+            "--joins",
+            "8",
+            "--leaves",
+            "8",
+            "--moves",
+            "8",
+            "--algorithms",
+            "grez-grec",
+            "--epochs",
+            "1",
+            "--seed",
+            "0",
+            "--csv",
+            str(path),
+        ]
+        assert main(args) == 0
+        header = path.read_text().splitlines()[0]
+        assert header == self.EXPECTED_HEADER
+
+
+class TestFederateCommand:
+    SMALL = [
+        "--config",
+        "4s-8z-80c-60cp",
+        "--shards",
+        "2",
+        "--epochs",
+        "2",
+        "--seed",
+        "1",
+    ]
+
+    def test_federate_streams_summary(self, capsys):
+        assert main(["federate", *self.SMALL, "--arbiter", "proportional"]) == 0
+        out = capsys.readouterr().out
+        assert "Federated simulation" in out
+        assert "proportional" in out
+        assert "shard 0" in out and "shard 1" in out and "aggregate" in out
+        assert "worst shard" in out
+
+    def test_federate_writes_federated_csv(self, capsys, tmp_path):
+        from repro.dynamics.engine import EpochRecord
+
+        path = tmp_path / "fed.csv"
+        assert main(["federate", *self.SMALL, "--csv", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == ",".join(["run", *EpochRecord.FEDERATED_FIELDS])
+        # 2 epochs x (2 shards + 1 aggregate) x 1 algorithm.
+        assert len(lines) == 1 + 2 * 3
+        shard_ids = [line.split(",")[1] for line in lines[1:]]
+        assert set(shard_ids) == {"0", "1", "-1"}
+
+    def test_federate_arbiters_and_weights(self, capsys, tmp_path):
+        for arbiter in ("static", "regret"):
+            assert (
+                main(
+                    [
+                        "federate",
+                        *self.SMALL,
+                        "--arbiter",
+                        arbiter,
+                        "--shard-weights",
+                        "3,1",
+                        "--migration-budget",
+                        "20",
+                    ]
+                )
+                == 0
+            )
+
+    def test_federate_rejects_bad_arguments(self, capsys):
+        assert main(["federate", *self.SMALL, "--epochs", "0"]) == 2
+        assert main(["federate", "--shards", "0"]) == 2
+        assert main(["federate", *self.SMALL, "--shard-weights", "1,2,3"]) == 2
+        with pytest.raises(SystemExit):
+            main(["federate", *self.SMALL, "--arbiter", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["federate", *self.SMALL, "--shard-weights", "1,-2"])
+
+    def test_federate_multi_run_matches_serial(self, tmp_path):
+        def run_to_csv(workers):
+            path = tmp_path / f"fed-w{workers or 0}.csv"
+            args = [
+                "federate",
+                *self.SMALL,
+                "--runs",
+                "2",
+                "--csv",
+                str(path),
+            ]
+            if workers:
+                args += ["--workers", str(workers)]
+            assert main(args) == 0
+            return path.read_text()
+
+        assert run_to_csv(None) == run_to_csv(2)
+
+    def test_federate_rejects_bad_min_slice(self):
+        for value in ("0", "1.5", "-0.1"):
+            with pytest.raises(SystemExit):
+                main(["federate", *self.SMALL, "--min-slice", value])

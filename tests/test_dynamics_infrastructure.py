@@ -601,3 +601,139 @@ class TestWarmStartZoneSweep:
         # Zones 1 and 2 must have been re-hosted off server 0.
         assert repaired.assignment.zone_to_server[1] == 1
         assert repaired.assignment.zone_to_server[2] == 2
+
+
+class TestGrantRevokeGrantCycles:
+    """Satellite: repeated capacity grant -> revoke -> grant on the same servers.
+
+    The federation arbiter re-slices capacities every epoch, so the delta
+    pipeline must round-trip capacities *exactly* (no drift accumulation) and
+    keep the cached zone aggregates valid across arbitrarily many cycles.
+    """
+
+    def test_capacity_cycles_round_trip_exactly(self, small_instance):
+        inst = small_instance
+        identity = np.arange(inst.num_servers)
+        no_joins = np.zeros((inst.num_clients, 0))
+        base_caps = inst.server_capacities
+        demands_cache = inst.zone_demands()  # warm the caches
+        pops_cache = inst.zone_populations()
+
+        current = inst
+        for _cycle in range(4):
+            granted = current.apply_server_delta(
+                old_to_new=identity,
+                join_delays=no_joins,
+                server_server_delays=current.server_server_delays,
+                server_capacities=base_caps * 2.0,
+            )
+            np.testing.assert_array_equal(granted.server_capacities, base_caps * 2.0)
+            revoked = granted.apply_server_delta(
+                old_to_new=identity,
+                join_delays=no_joins,
+                server_server_delays=granted.server_server_delays,
+                server_capacities=base_caps,
+            )
+            # Exact round trip: the original capacity vector is restored
+            # bit-for-bit, and the delay matrix never changed values.
+            np.testing.assert_array_equal(revoked.server_capacities, base_caps)
+            np.testing.assert_array_equal(
+                revoked.client_server_delays, inst.client_server_delays
+            )
+            # Zone caches were carried through both deltas by identity.
+            assert revoked.zone_demands() is demands_cache
+            assert revoked.zone_populations() is pops_cache
+            current = revoked
+
+    def test_capacity_cycles_via_with_server_capacities(self, small_instance):
+        """The O(m) fast path shares the delay matrix by identity too."""
+        inst = small_instance
+        base_caps = inst.server_capacities
+        demands_cache = inst.zone_demands()
+        current = inst
+        for factor in (2.0, 0.5, 3.0):
+            granted = current.with_server_capacities(base_caps * factor)
+            assert granted.client_server_delays is inst.client_server_delays
+            assert granted.server_server_delays is inst.server_server_delays
+            assert granted.zone_demands() is demands_cache
+            current = granted.with_server_capacities(base_caps)
+            np.testing.assert_array_equal(current.server_capacities, base_caps)
+
+    def test_with_server_capacities_validates(self, small_instance):
+        with pytest.raises(ValueError, match="shape"):
+            small_instance.with_server_capacities(np.ones(small_instance.num_servers + 1))
+        with pytest.raises(ValueError, match="positive"):
+            small_instance.with_server_capacities(
+                np.zeros(small_instance.num_servers)
+            )
+
+    def test_join_leave_join_restores_fleet_exactly(self, small_scenario):
+        """Granting a server, revoking it, granting again: scenario round trip."""
+        topo_nodes = small_scenario.topology.num_nodes
+        m = small_scenario.num_servers
+        current = small_scenario
+        for _cycle in range(3):
+            join_batch = ServerChurnBatch(
+                join_nodes=np.array([topo_nodes - 1]),
+                join_capacities=np.array([25.0 * MBPS]),
+            )
+            grant = apply_server_churn(current.servers, join_batch)
+            grown = current.apply_server_delta(grant)
+            assert grown.num_servers == m + 1
+
+            leave_batch = ServerChurnBatch(leave_indices=np.array([m]))
+            revoke = apply_server_churn(grown.servers, leave_batch)
+            shrunk = grown.apply_server_delta(revoke)
+            assert shrunk.num_servers == m
+            # The surviving fleet is exactly the original one.
+            np.testing.assert_array_equal(shrunk.servers.nodes, small_scenario.servers.nodes)
+            np.testing.assert_array_equal(
+                shrunk.servers.capacities, small_scenario.servers.capacities
+            )
+            np.testing.assert_array_equal(
+                shrunk.client_server_delays, small_scenario.client_server_delays
+            )
+            np.testing.assert_array_equal(
+                shrunk.server_server_delays, small_scenario.server_server_delays
+            )
+            current = shrunk
+
+    def test_instance_join_leave_join_cycles_keep_zone_caches(
+        self, small_scenario, small_instance
+    ):
+        topo_nodes = small_scenario.topology.num_nodes
+        m = small_instance.num_servers
+        demands_cache = small_instance.zone_demands()
+        pops_cache = small_instance.zone_populations()
+        scenario, instance = small_scenario, small_instance
+        for _cycle in range(3):
+            join_batch = ServerChurnBatch(
+                join_nodes=np.array([topo_nodes - 2]),
+                join_capacities=np.array([30.0 * MBPS]),
+            )
+            grant = apply_server_churn(scenario.servers, join_batch)
+            grown_scenario = scenario.apply_server_delta(grant)
+            grown = instance.apply_server_delta(
+                old_to_new=grant.old_to_new,
+                join_delays=grown_scenario.client_server_delays[:, grant.new_server_indices],
+                server_server_delays=grown_scenario.server_server_delays,
+                server_capacities=grown_scenario.servers.capacities,
+            )
+            leave_batch = ServerChurnBatch(leave_indices=np.array([m]))
+            revoke = apply_server_churn(grown_scenario.servers, leave_batch)
+            scenario = grown_scenario.apply_server_delta(revoke)
+            instance = grown.apply_server_delta(
+                old_to_new=revoke.old_to_new,
+                join_delays=scenario.client_server_delays[:, revoke.new_server_indices],
+                server_server_delays=scenario.server_server_delays,
+                server_capacities=scenario.servers.capacities,
+            )
+            np.testing.assert_array_equal(
+                instance.server_capacities, small_instance.server_capacities
+            )
+            np.testing.assert_array_equal(
+                instance.client_server_delays, small_instance.client_server_delays
+            )
+            # Zone caches survive every grant/revoke hop by identity.
+            assert instance.zone_demands() is demands_cache
+            assert instance.zone_populations() is pops_cache

@@ -351,3 +351,56 @@ class TestControllerDriver:
         )
         for metric in ("mean_pqos", "worst_pqos", "repairs", "rebalances", "migration_cost"):
             assert result.stats[("a", metric)].mean == result.stats[("b", metric)].mean
+
+
+class TestFederationDriver:
+    def test_small_run_structure(self):
+        from repro.experiments.federation import format_federation, run_federation
+
+        result = run_federation(
+            label=SMALL_LABEL,
+            num_shards=2,
+            arbiters=["static", "proportional"],
+            num_runs=2,
+            seed=0,
+            num_epochs=2,
+        )
+        assert result.arbiter_names == ["static", "proportional"]
+        assert result.num_shards == 2 and result.num_runs == 2
+        assert result.client_weights == (2.0, 1.0)
+        for name in result.arbiter_names:
+            assert result.stats[(name, "mean_pqos")].count == 2
+            assert 0.0 <= result.stats[(name, "worst_shard_pqos")].mean <= 1.0
+            assert result.stats[(name, "pqos_spread")].mean >= 0.0
+            # The per-shard budget bounds every aggregate epoch's bill by
+            # num_shards x budget.
+            assert (
+                result.stats[(name, "max_epoch_migration_cost")].mean
+                <= result.num_shards * result.migration_budget + 1e-9
+            )
+        text = format_federation(result)
+        assert "Federated arbitration" in text and SMALL_LABEL in text
+        assert "worst-shard pQoS" in text
+
+    def test_workers_do_not_change_results(self):
+        from repro.experiments.federation import run_federation
+
+        kwargs = dict(
+            label=SMALL_LABEL,
+            num_shards=2,
+            arbiters=["static", "proportional"],
+            num_runs=2,
+            seed=3,
+            num_epochs=2,
+        )
+        serial = run_federation(**kwargs, workers=None)
+        parallel = run_federation(**kwargs, workers=2)
+        for key, stat in serial.stats.items():
+            assert stat.mean == parallel.stats[key].mean
+
+    def test_registry_exposes_federation(self):
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("federation")
+        assert spec.supports_workers
+        assert "shard" in spec.description.lower() or "arbiter" in spec.description.lower()

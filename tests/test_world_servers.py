@@ -76,3 +76,12 @@ class TestAllocateCapacities:
             allocate_capacities(0, 100.0)
         with pytest.raises(ValueError):
             allocate_capacities(5, -1.0)
+
+
+def test_negative_server_nodes_rejected():
+    import numpy as np
+    import pytest
+    from repro.world.servers import ServerSet
+
+    with pytest.raises(ValueError, match="non-negative"):
+        ServerSet(nodes=np.array([-1, 3]), capacities=np.array([1e6, 1e6]))
