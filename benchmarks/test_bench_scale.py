@@ -1,0 +1,234 @@
+"""Scale-and-memory ladder: dense vs compact delay backends up to 10^5..10^6 clients.
+
+The dense delay matrix is O(clients x servers) and caps worlds at a few
+thousand clients; the ``coords`` and ``sparse`` backends
+(:mod:`repro.topology.delay_backends`) hold O(clients + zones*K + nodes*m)
+state instead.  This ladder measures, per backend and client count:
+
+* build + solve latency and per-epoch churn latency (2 epochs, 1 % churn,
+  re-execute policy — the most expensive repair schedule), and
+* peak traced memory (tracemalloc, which tracks numpy buffers) plus the
+  resident delay-state bytes of the instance.
+
+Dense is *measured* on the small rungs and linearly extrapolated to the
+compact rungs (its per-client footprint is affine in ``clients`` for fixed
+``servers``); the ladder asserts the compact backends stay an order of
+magnitude below that extrapolation and that their resident delay state is
+O(clients + zones*K + nodes*m) with a small constant.
+
+Results go to ``BENCH_scale.json`` at the repository root.  CI's scale-guard
+job runs the smoke rung (``REPRO_BENCH_RUNS=1``: 50k clients) as a blocking
+check; the full ladder reaches 100k and, with ``REPRO_BENCH_SCALE_MAX``, 1M.
+
+The ladder's configurations are adequately provisioned (capacity ~1.3x total
+demand), unlike the paper's oversubscribed Table 1 labels: when capacity is
+scarce the max-regret fallback places zones with no regard for delay, which
+dense absorbs (pQoS only counts delay misses) but turns the sparse backend's
+candidate restriction into sentinel-delay assignments.  Provisioning is the
+realistic operating point for the million-client worlds this ladder models.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+import repro.baselines  # noqa: F401  (registers the baseline solvers)
+from repro.core import CAPInstance
+from repro.core.registry import solve as registry_solve
+from repro.dynamics.churn import ChurnSpec
+from repro.dynamics.engine import ChurnSimulator
+from repro.experiments.config import config_from_label
+from repro.io.serialization import dump_json
+from repro.io.tables import format_table
+from repro.world import build_scenario
+
+from benchmarks.conftest import bench_runs
+
+pytestmark = pytest.mark.benchmark
+
+#: Smoke mode (CI: REPRO_BENCH_RUNS=1) stops the ladder at 50k clients.
+FULL = bench_runs(2) > 1
+
+NUM_SERVERS = 500
+NUM_ZONES = 2000
+#: Capacity per client (Mbps); mean client demand is ~1.04 Mbps, so this is
+#: ~25 % headroom — see the module docstring.
+CAPACITY_PER_CLIENT = 1.3
+NUM_EPOCHS = 2
+CHURN_FRACTION = 0.01
+
+DENSE_RUNGS = (10_000, 20_000) if FULL else (10_000,)
+_max_compact = int(os.environ.get("REPRO_BENCH_SCALE_MAX", "0") or 0)
+if not _max_compact:
+    _max_compact = 100_000 if FULL else 50_000
+COMPACT_RUNGS = tuple(k for k in (10_000, 50_000, 100_000, 1_000_000) if k <= _max_compact)
+#: Minimum measured-vs-extrapolated memory advantage at the ladder top.
+MIN_MEMORY_RATIO = 10.0 if FULL else 5.0
+#: Per-zone candidate budget of the sparse backend at ladder scale.
+SPARSE_TOP_K = 64
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def _label(num_clients: int) -> str:
+    capacity = int(num_clients * CAPACITY_PER_CLIENT)
+    return f"{NUM_SERVERS}s-{NUM_ZONES}z-{num_clients}c-{capacity}cp"
+
+
+def _measure_rung(backend: str, num_clients: int) -> dict:
+    """Build, solve and churn one rung under tracemalloc; return its record."""
+    config = config_from_label(_label(num_clients)).with_updates(
+        delay_backend=backend, sparse_top_k=SPARSE_TOP_K
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    scenario = build_scenario(config, seed=0)
+    instance = CAPInstance.from_scenario(scenario)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    assignment = registry_solve(instance, "grez-grec")
+    solve_seconds = time.perf_counter() - start
+
+    churn = int(CHURN_FRACTION * num_clients)
+    simulator = ChurnSimulator(
+        scenario=scenario,
+        algorithms=["grez-grec"],
+        churn_spec=ChurnSpec(num_joins=churn, num_leaves=churn, num_moves=churn),
+        seed=1,
+    )
+    session = simulator.session(NUM_EPOCHS)
+    start = time.perf_counter()
+    while not session.done:
+        session.run_epoch()
+    epoch_seconds = (time.perf_counter() - start) / NUM_EPOCHS
+    # Churn must advance compact worlds without densifying them.
+    assert session.state.scenario.has_dense_delays == (backend == "dense")
+
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    delays = instance.client_server_delays
+    state_bytes = delays.nbytes
+    return {
+        "backend": backend,
+        "num_clients": num_clients,
+        "label": config.label,
+        "build_seconds": build_seconds,
+        "solve_seconds": solve_seconds,
+        "epoch_seconds": epoch_seconds,
+        "peak_mb": peak / 1e6,
+        "delay_state_mb": state_bytes / 1e6,
+        "pqos": assignment.pqos(instance),
+    }
+
+
+def _dense_extrapolation(dense_rungs: list) -> dict:
+    """Affine peak-memory model ``peak(clients)`` fitted to the dense rungs."""
+    if len(dense_rungs) >= 2:
+        first, last = dense_rungs[0], dense_rungs[-1]
+        slope = (last["peak_mb"] - first["peak_mb"]) / (
+            last["num_clients"] - first["num_clients"]
+        )
+        intercept = first["peak_mb"] - slope * first["num_clients"]
+    else:
+        # Proportional through the single smoke rung — conservative for the
+        # ratio check (it scales the fixed overhead up with the client count).
+        slope = dense_rungs[0]["peak_mb"] / dense_rungs[0]["num_clients"]
+        intercept = 0.0
+    return {"slope_mb_per_client": slope, "intercept_mb": intercept}
+
+
+def _measure() -> dict:
+    results: dict = {"dense": [], "coords": [], "sparse": []}
+    for num_clients in DENSE_RUNGS:
+        results["dense"].append(_measure_rung("dense", num_clients))
+    for backend in ("coords", "sparse"):
+        for num_clients in COMPACT_RUNGS:
+            results[backend].append(_measure_rung(backend, num_clients))
+
+    model = _dense_extrapolation(results["dense"])
+    for backend in ("coords", "sparse"):
+        for rung in results[backend]:
+            extrapolated = (
+                model["intercept_mb"] + model["slope_mb_per_client"] * rung["num_clients"]
+            )
+            rung["dense_extrapolated_mb"] = extrapolated
+            rung["memory_ratio"] = extrapolated / rung["peak_mb"]
+    results["dense_peak_model"] = model
+    return results
+
+
+def test_bench_scale(benchmark, record):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for backend in ("dense", "coords", "sparse"):
+        for rung in results[backend]:
+            rows.append(
+                [
+                    backend,
+                    f"{rung['num_clients']:,}",
+                    rung["solve_seconds"],
+                    rung["epoch_seconds"],
+                    rung["peak_mb"],
+                    rung["delay_state_mb"],
+                    rung.get("memory_ratio", 1.0),
+                    rung["pqos"],
+                ]
+            )
+    text = format_table(
+        [
+            "backend",
+            "clients",
+            "solve (s)",
+            "s/epoch",
+            "peak MB",
+            "state MB",
+            "vs dense",
+            "pQoS",
+        ],
+        rows,
+        title=(
+            f"Delay-backend scale ladder ({NUM_SERVERS} servers, {NUM_ZONES} zones, "
+            f"{NUM_EPOCHS} churn epochs/rung; 'vs dense' = extrapolated dense peak / "
+            "measured peak)"
+        ),
+        float_format=".2f",
+    )
+    record("scale", text)
+    dump_json(
+        {
+            "num_servers": NUM_SERVERS,
+            "num_zones": NUM_ZONES,
+            "capacity_per_client_mbps": CAPACITY_PER_CLIENT,
+            "num_epochs": NUM_EPOCHS,
+            "churn_fraction": CHURN_FRACTION,
+            "sparse_top_k": SPARSE_TOP_K,
+            "full_ladder": FULL,
+            "min_memory_ratio": MIN_MEMORY_RATIO,
+            **results,
+        },
+        RESULTS_PATH,
+    )
+
+    top = COMPACT_RUNGS[-1]
+    for backend in ("coords", "sparse"):
+        rungs = {rung["num_clients"]: rung for rung in results[backend]}
+        # The scale-and-memory guard: at the ladder top the compact backends
+        # must undercut the extrapolated dense footprint by MIN_MEMORY_RATIO.
+        assert rungs[top]["memory_ratio"] >= MIN_MEMORY_RATIO, (backend, rungs[top])
+        # O(clients + zones*K + nodes*m) resident delay state, small constant:
+        # 8-byte words per unit with room for every index/candidate array.
+        budget_words = 4 * top + 2 * NUM_ZONES * SPARSE_TOP_K + 2 * 500 * NUM_SERVERS
+        assert rungs[top]["delay_state_mb"] * 1e6 <= 8 * budget_words, (backend, rungs[top])
+        # The approximation must stay usable: within 0.15 pQoS of dense on the
+        # shared small rung, and non-degenerate at the top.
+        dense_small = results["dense"][0]
+        assert abs(rungs[10_000]["pqos"] - dense_small["pqos"]) <= 0.15, backend
+        assert rungs[top]["pqos"] >= 0.80, (backend, rungs[top])

@@ -34,11 +34,15 @@ def _assign_zones_nearest(instance: CAPInstance) -> ZoneAssignment:
     """Zone → server map minimising per-zone QoS misses, greedily by zone size."""
     cost = initial_cost_matrix(instance)  # (m, n) clients-without-QoS counts
     # Mean client delay per (server, zone) used only to break ties.
-    mean_delay = np.zeros_like(cost)
     populations = np.maximum(instance.zone_populations(), 1)
-    sums = np.zeros((instance.num_zones, instance.num_servers))
-    if instance.num_clients:
-        np.add.at(sums, instance.client_zones, instance.client_server_delays)
+    if instance.has_dense_delays:
+        sums = np.zeros((instance.num_zones, instance.num_servers))
+        if instance.num_clients:
+            np.add.at(sums, instance.client_zones, instance.client_server_delays)
+    else:
+        sums = instance.client_server_delays.zone_delay_sums(
+            instance.client_zones, instance.num_zones
+        )
     mean_delay = (sums / populations[:, None]).T
 
     zone_demands = instance.zone_demands()
@@ -86,9 +90,14 @@ def solve_nearest_server(
         loads = zone_server_loads(instance, zones.zone_to_server)
         capacities = instance.server_capacities
         contacts = targets.copy()
-        total_delay = instance.client_server_delays + instance.server_server_delays[:, targets].T
-        # total_delay[c, s] = d(c, s) + d(s, target_c)
-        direct = instance.client_server_delays[clients, targets]
+        # total_delay[c, s] = d(c, s) + d(s, target_c).  The per-client greedy
+        # scan below is inherently dense; compact instances materialise here
+        # (this baseline only runs on paper-scale worlds).
+        total_delay = (
+            instance.dense_client_server_delays()
+            + instance.server_server_delays[:, targets].T
+        )
+        direct = instance.delay_pairs(clients, targets)
         for client in clients:
             if direct[client] <= instance.delay_bound:
                 continue

@@ -34,11 +34,17 @@ from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimula
 from repro.dynamics.infrastructure import ServerChurnSpec
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import POLICY_NAMES, make_policy
-from repro.experiments.config import ExperimentConfig, config_from_label, PAPER_DEFAULT_LABEL
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_DEFAULT_LABEL,
+    apply_delay_backend,
+    config_from_label,
+)
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
 from repro.io.csvout import CsvAppender
 from repro.io.tables import format_kv, format_table
 from repro.metrics import GroupedRunningStats, qos_report, resource_report
+from repro.topology.delay_backends import DEFAULT_DELAY_BACKEND, DELAY_BACKENDS
 from repro.utils.pool import ordered_map
 from repro.utils.rng import as_generator, spawn_generators
 from repro.world import build_scenario
@@ -125,6 +131,20 @@ def _add_solver_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_delay_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--delay-backend`` option to a sub-command parser."""
+    parser.add_argument(
+        "--delay-backend",
+        default=None,
+        choices=DELAY_BACKENDS,
+        help=(
+            f"delay representation (default: {DEFAULT_DELAY_BACKEND}; 'coords' and "
+            "'sparse' hold O(clients) state instead of the dense clients x servers "
+            "matrix, trading a bounded pQoS accuracy loss for million-client scale)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -164,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--detail", action="store_true", help="also print the full QoS / resource reports"
     )
     _add_solver_backend_flag(solve)
+    _add_delay_backend_flag(solve)
 
     # experiment ------------------------------------------------------------
     exp = sub.add_parser("experiment", help="run one of the paper's tables / figures")
@@ -180,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_solver_backend_flag(exp)
+    _add_delay_backend_flag(exp)
 
     # simulate ---------------------------------------------------------------
     sim = sub.add_parser(
@@ -270,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every epoch record to this CSV file as it is produced",
     )
     _add_solver_backend_flag(sim)
+    _add_delay_backend_flag(sim)
 
     # federate ---------------------------------------------------------------
     fedp = sub.add_parser(
@@ -365,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every per-shard and aggregate record to this CSV file",
     )
     _add_solver_backend_flag(fedp)
+    _add_delay_backend_flag(fedp)
 
     return parser
 
@@ -381,7 +405,9 @@ def _cmd_list() -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    config = config_from_label(args.config, correlation=args.correlation)
+    config = apply_delay_backend(
+        config_from_label(args.config, correlation=args.correlation), args.delay_backend
+    )
     scenario = build_scenario(config, seed=args.seed)
     instance = CAPInstance.from_scenario(scenario, delay_bound=args.delay_bound_ms)
     print(format_kv(scenario.summary(), title="Scenario"))
@@ -518,7 +544,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = config_from_label(args.config, correlation=args.correlation)
+    config = apply_delay_backend(
+        config_from_label(args.config, correlation=args.correlation), args.delay_backend
+    )
 
     if args.server_churn is not None:
         fleet = (
@@ -536,6 +564,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "policy": schedule.name,
                 "backend": args.backend,
                 "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
+                "delay backend": config.delay_backend,
                 "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
                 "server churn per epoch": fleet,
                 "migration cost / client": args.migration_cost,
@@ -694,7 +723,9 @@ def _cmd_federate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = config_from_label(args.config, correlation=args.correlation)
+    config = apply_delay_backend(
+        config_from_label(args.config, correlation=args.correlation), args.delay_backend
+    )
 
     print(
         format_kv(
@@ -711,6 +742,7 @@ def _cmd_federate(args: argparse.Namespace) -> int:
                 "epochs": args.epochs,
                 "policy": schedule.name,
                 "backend": args.backend,
+                "delay backend": config.delay_backend,
                 "churn fraction per epoch": args.churn_fraction,
                 "migration cost / client": args.migration_cost,
                 "migration budget / shard": (
@@ -803,6 +835,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         solver_backend=args.solver_backend,
+        delay_backend=args.delay_backend,
     )
     result = run_experiment(spec, config)
     print(spec.format(result))

@@ -41,6 +41,14 @@ def initial_cost_matrix(instance: CAPInstance) -> np.ndarray:
     scatter-add it replaces is the notoriously slow ufunc path, and this
     matrix is rebuilt on every from-scratch solve of a re-execution epoch.
     """
+    if not instance.has_dense_delays:
+        # Compact delay sources aggregate in node space: a (zones × nodes)
+        # count matrix against the node→server over-bound indicator gives the
+        # same integer counts without ever touching a (k, m) matrix.
+        per_zone = instance.client_server_delays.zone_over_bound_counts(
+            instance.delay_bound, instance.client_zones, instance.num_zones
+        )
+        return per_zone.T.copy()
     per_zone = np.zeros((instance.num_zones, instance.num_servers), dtype=np.float64)
     if instance.num_clients:
         over_bound = (instance.client_server_delays > instance.delay_bound).astype(np.float64)
@@ -70,8 +78,13 @@ def refined_cost_matrix(instance: CAPInstance, zone_to_server: np.ndarray) -> np
     ):
         raise ValueError("zone_to_server contains invalid server indices")
     targets = zone_to_server[instance.client_zones]  # (k,)
-    # total_delay[i, j] = d(c_j, s_i) + d(s_i, target_j)
-    total_delay = instance.client_server_delays.T + instance.server_server_delays[:, targets]
+    # total_delay[i, j] = d(c_j, s_i) + d(s_i, target_j).  This is the one
+    # cost that is inherently (m, k)-dense; compact instances materialise
+    # here, which the all-pairs callers (optimal RAP, first-fit variant)
+    # accept on the small worlds they run on.
+    total_delay = (
+        instance.dense_client_server_delays().T + instance.server_server_delays[:, targets]
+    )
     return np.maximum(total_delay - instance.delay_bound, 0.0)
 
 
@@ -101,9 +114,7 @@ def refined_cost_columns(
     if clients.size and (clients.min() < 0 or clients.max() >= instance.num_clients):
         raise ValueError("clients contains invalid client indices")
     targets = zone_to_server[instance.client_zones[clients]]  # (len(clients),)
-    total_delay = (
-        instance.client_server_delays[clients].T + instance.server_server_delays[:, targets]
-    )
+    total_delay = instance.delay_rows(clients).T + instance.server_server_delays[:, targets]
     return np.maximum(total_delay - instance.delay_bound, 0.0)
 
 
@@ -122,14 +133,13 @@ def delays_to_targets(
     targets = zone_to_server[instance.client_zones]
     clients = np.arange(instance.num_clients)
     if contact_of_client is None:
-        return instance.client_server_delays[clients, targets]
+        return instance.delay_pairs(clients, targets)
     contacts = np.asarray(contact_of_client, dtype=np.int64)
     if contacts.shape != (instance.num_clients,):
         raise ValueError("contact_of_client must have one entry per client")
-    return (
-        instance.client_server_delays[clients, contacts]
-        + instance.server_server_delays[contacts, targets]
-    )
+    return instance.delay_pairs(clients, contacts) + instance.server_server_delays[
+        contacts, targets
+    ]
 
 
 def qos_indicator(instance: CAPInstance, delays: np.ndarray) -> np.ndarray:

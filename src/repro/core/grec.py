@@ -61,7 +61,7 @@ def assign_contacts_greedy(
     with Timer() as timer:
         targets = zone_assignment.targets_of_clients(instance)  # (k,)
         clients = np.arange(instance.num_clients)
-        direct_delay = instance.client_server_delays[clients, targets]
+        direct_delay = instance.delay_pairs(clients, targets)
         needs_help = direct_delay > instance.delay_bound  # the list L_E of the paper
 
         contacts = targets.copy()

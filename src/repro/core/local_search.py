@@ -134,7 +134,7 @@ def _refine_loop(
                 client = int(client)
                 target = int(targets[client])
                 options = (
-                    instance.client_server_delays[client]
+                    instance.delay_rows(client)
                     + instance.server_server_delays[:, target]
                 )
                 for server in np.argsort(options, kind="stable"):
@@ -170,7 +170,7 @@ def _refine_loop(
 # --------------------------------------------------------------------------- #
 def _zone_move_aggregates(
     instance: CAPInstance,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[Optional[np.ndarray], np.ndarray, np.ndarray, np.ndarray]:
     """Loop-invariant per-(zone, server) aggregates of the post-move delays.
 
     ``direct[c, s]`` is client ``c``'s delay when connected directly to host
@@ -178,17 +178,27 @@ def _zone_move_aggregates(
     parity with the loop backend); ``within_matrix`` / ``excess_matrix``
     aggregate it per zone, and ``zone_sizes`` counts members.  Shared by
     every zone-move neighbourhood scanner.
+
+    Compact delay sources never build the (k, m) ``direct`` matrix: the zone
+    aggregates come from the node-space fast path and ``direct`` is ``None``
+    — the one consumer that indexes it (:func:`_repair_zones_sweep`) falls
+    back to per-move pair gathers then.
     """
     num_zones, num_servers = instance.num_zones, instance.num_servers
     zones_of = instance.client_zones
     bound = instance.delay_bound
+    zone_sizes = np.bincount(zones_of, minlength=num_zones)
+    if not instance.has_dense_delays:
+        within_matrix, excess_matrix = instance.client_server_delays.zone_direct_aggregates(
+            bound, zones_of, num_zones, np.diag(instance.server_server_delays)
+        )
+        return None, within_matrix, excess_matrix, zone_sizes
     direct = instance.client_server_delays + np.diag(instance.server_server_delays)[None, :]
     within_matrix = np.zeros((num_zones, num_servers), dtype=np.float64)
     excess_matrix = np.zeros_like(within_matrix)
     if instance.num_clients:
         np.add.at(within_matrix, zones_of, (direct <= bound).astype(float))
         np.add.at(excess_matrix, zones_of, np.maximum(direct - bound, 0.0))
-    zone_sizes = np.bincount(zones_of, minlength=num_zones)
     return direct, within_matrix, excess_matrix, zone_sizes
 
 
@@ -298,7 +308,7 @@ def _best_contact_move(
 
     # options[c, s] = d(c, s) + d(s, target_c); forwarding costs 2·RT(c) at s
     # unless s already is the target.
-    options = instance.client_server_delays[over_clients] + instance.server_server_delays.T[targets]
+    options = instance.delay_rows(over_clients) + instance.server_server_delays.T[targets]
     extra = 2.0 * demands[:, None] * (np.arange(num_servers)[None, :] != targets[:, None])
     feasible = loads[None, :] + extra <= capacities[None, :] + _CAP_EPS
     feasible[rows, contacts[over_clients]] = False  # staying put is not a move
@@ -421,7 +431,6 @@ def _refine_incremental(
     """
     zones_of = instance.client_zones
     bound = instance.delay_bound
-    csd = instance.client_server_delays
     ssd = instance.server_server_delays
 
     # Seeded once; maintained incrementally from here on.
@@ -487,7 +496,7 @@ def _refine_incremental(
             zone_to_server[index] = server
             contacts[members] = server
             targets[members] = server
-            delays[members] = csd[members, server] + ssd[server, server]
+            delays[members] = instance.delay_pairs(members, server) + ssd[server, server]
         else:
             target = int(targets[index])
             demand = 2.0 * instance.client_demands[index]
@@ -496,7 +505,7 @@ def _refine_incremental(
             if server != target:
                 loads[server] += demand
             contacts[index] = server
-            delays[index] = csd[index, server] + ssd[server, target]
+            delays[index] = instance.delay_pairs(index, server) + ssd[server, target]
         iterations += 1
     return iterations
 
@@ -524,7 +533,6 @@ def _repair_contacts_sweep(
     """
     zones_of = instance.client_zones
     bound = instance.delay_bound
-    csd = instance.client_server_delays
     ssd = instance.server_server_delays
     capacities = instance.server_capacities
     num_servers = instance.num_servers
@@ -542,7 +550,7 @@ def _repair_contacts_sweep(
             break
         over_targets = targets[over]
         demand2 = 2.0 * instance.client_demands[over]
-        options = csd[over] + ssd.T[over_targets]  # (over, m); column == server id
+        options = instance.delay_rows(over) + ssd.T[over_targets]  # (over, m); col == server
         # A candidate must strictly improve the client's delay and (unless it
         # is the target itself, which adds no load) fit the forwarding
         # overhead into the load as of the start of the sweep.
@@ -632,6 +640,9 @@ def _repair_zones_sweep(
     zone_demands = instance.zone_demands()
 
     direct, within_matrix, excess_matrix, zone_sizes = _zone_move_aggregates(instance)
+    # Compact delay sources skip the (k, m) direct matrix; applied moves
+    # regather the handful of affected rows instead.
+    self_delays = None if direct is not None else np.diag(instance.server_server_delays)
 
     # Per-zone member lists, once (CSR-style layout).
     member_order = np.argsort(zones_of, kind="stable")
@@ -694,7 +705,10 @@ def _repair_zones_sweep(
             loads[server] += zone_demands[zone]
             zone_to_server[zone] = server
             contacts[members] = server
-            delays[members] = direct[members, server]
+            if direct is not None:
+                delays[members] = direct[members, server]
+            else:
+                delays[members] = instance.delay_pairs(members, server) + self_delays[server]
             applied_total += 1
             applied_this_sweep += 1
         if applied_this_sweep == 0:

@@ -156,7 +156,7 @@ def solve_rap_optimal(
     with Timer() as timer:
         targets = zone_assignment.targets_of_clients(instance)
         clients = np.arange(instance.num_clients)
-        direct = instance.client_server_delays[clients, targets]
+        direct = instance.delay_pairs(clients, targets)
         needs_help = direct > instance.delay_bound
         contacts = targets.copy()
 

@@ -21,10 +21,11 @@ error models) while their results are evaluated on the true delays.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.topology.delay_backends import CompactDelayMatrix
 from repro.utils.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -50,20 +51,24 @@ class CAPInstance:
     num_zones: int
 
     def __post_init__(self) -> None:
-        d_cs = np.asarray(self.client_server_delays, dtype=np.float64)
+        compact = isinstance(self.client_server_delays, CompactDelayMatrix)
+        if not compact:
+            d_cs = np.asarray(self.client_server_delays, dtype=np.float64)
+            object.__setattr__(self, "client_server_delays", d_cs)
+            if d_cs.ndim != 2:
+                raise ValueError(
+                    f"client_server_delays must be 2-D, got shape {d_cs.shape}"
+                )
         d_ss = np.asarray(self.server_server_delays, dtype=np.float64)
         zones = np.asarray(self.client_zones, dtype=np.int64)
         demands = np.asarray(self.client_demands, dtype=np.float64)
         capacities = np.asarray(self.server_capacities, dtype=np.float64)
-        object.__setattr__(self, "client_server_delays", d_cs)
         object.__setattr__(self, "server_server_delays", d_ss)
         object.__setattr__(self, "client_zones", zones)
         object.__setattr__(self, "client_demands", demands)
         object.__setattr__(self, "server_capacities", capacities)
 
-        if d_cs.ndim != 2:
-            raise ValueError(f"client_server_delays must be 2-D, got shape {d_cs.shape}")
-        k, m = d_cs.shape
+        k, m = self.client_server_delays.shape
         if d_ss.shape != (m, m):
             raise ValueError(
                 f"server_server_delays must be ({m}, {m}), got {d_ss.shape}"
@@ -79,12 +84,20 @@ class CAPInstance:
             raise ValueError("num_zones must be >= 1")
         if zones.size and (zones.min() < 0 or zones.max() >= self.num_zones):
             raise ValueError("client_zones contains zone ids outside [0, num_zones)")
-        if (d_cs < 0).any() or (d_ss < 0).any():
+        # Compact matrices guarantee non-negativity by construction (they
+        # gather from a validated node→server table); only dense inputs need
+        # the O(k·m) scan.
+        if (not compact and (d_cs < 0).any()) or (d_ss < 0).any():
             raise ValueError("delays must be non-negative")
         if demands.size and (demands <= 0).any():
             raise ValueError("client demands must be strictly positive (RT(c) > 0)")
         if (capacities <= 0).any():
             raise ValueError("server capacities must be strictly positive")
+        if compact and self.client_server_delays.num_zones not in (0, self.num_zones):
+            raise ValueError(
+                "the compact delay matrix was built for "
+                f"{self.client_server_delays.num_zones} zones, instance has {self.num_zones}"
+            )
 
     # ------------------------------------------------------------------ #
     # Dimensions
@@ -98,6 +111,40 @@ class CAPInstance:
     def num_servers(self) -> int:
         """Number of servers ``m``."""
         return int(self.client_server_delays.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Delay access — works for dense ndarrays and compact delay matrices
+    # ------------------------------------------------------------------ #
+    @property
+    def has_dense_delays(self) -> bool:
+        """True when ``client_server_delays`` is a real ndarray.
+
+        Compact instances (``"coords"`` / ``"sparse"`` delay backends) carry a
+        :class:`~repro.topology.delay_backends.CompactDelayMatrix` instead;
+        algorithms that genuinely need the dense matrix must go through
+        :meth:`dense_client_server_delays` (and accept the O(k·m) cost).
+        """
+        return not isinstance(self.client_server_delays, CompactDelayMatrix)
+
+    def delay_rows(self, clients: Union[int, np.ndarray]) -> np.ndarray:
+        """Delay rows — ``client_server_delays[clients]`` for either storage."""
+        if self.has_dense_delays:
+            return self.client_server_delays[clients]
+        return self.client_server_delays.rows(clients)
+
+    def delay_pairs(
+        self, clients: Union[int, np.ndarray], servers: Union[int, np.ndarray]
+    ) -> np.ndarray:
+        """Elementwise delays — ``client_server_delays[clients, servers]``."""
+        if self.has_dense_delays:
+            return self.client_server_delays[clients, servers]
+        return self.client_server_delays.pairs(clients, servers)
+
+    def dense_client_server_delays(self) -> np.ndarray:
+        """The full dense delay matrix, materialising a compact one (O(k·m))."""
+        if self.has_dense_delays:
+            return self.client_server_delays
+        return self.client_server_delays.toarray()
 
     # ------------------------------------------------------------------ #
     # Derived quantities (cached — see invalidate_caches)
@@ -308,6 +355,12 @@ class CAPInstance:
             Optional server delta, forwarded to :meth:`apply_server_delta`
             (all four must be given together).
         """
+        if not self.has_dense_delays:
+            raise TypeError(
+                "apply_delta needs dense delay rows; compact instances advance "
+                "through the scenario delta layer (CompactDelayMatrix.with_clients) "
+                "and CAPInstance.from_scenario"
+            )
         server_args = (server_old_to_new, server_join_delays, server_server_delays,
                        server_capacities)
         if any(a is not None for a in server_args):
@@ -415,6 +468,12 @@ class CAPInstance:
         server_capacities:
             Full post-churn capacity vector (drift can touch every entry).
         """
+        if not self.has_dense_delays:
+            raise TypeError(
+                "apply_server_delta needs dense delay columns; compact instances "
+                "advance through the scenario delta layer "
+                "(CompactDelayMatrix.with_servers) and CAPInstance.from_scenario"
+            )
         old_to_new = np.asarray(old_to_new, dtype=np.int64)
         join_delays = np.asarray(join_delays, dtype=np.float64)
         if join_delays.size == 0:

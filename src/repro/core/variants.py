@@ -132,7 +132,7 @@ def assign_contacts_first_fit(
     with Timer() as timer:
         targets = zone_assignment.targets_of_clients(instance)
         clients = np.arange(instance.num_clients)
-        direct = instance.client_server_delays[clients, targets]
+        direct = instance.delay_pairs(clients, targets)
         contacts = targets.copy()
         needy = np.flatnonzero(direct > instance.delay_bound)
         if needy.size:

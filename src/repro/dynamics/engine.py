@@ -308,6 +308,11 @@ class ChurnSimulator:
             # arrays — alias them instead of re-gathering and re-validating
             # the client×server matrix a second time per epoch.
             return new_scenario, CAPInstance.from_scenario_unchecked(new_scenario)
+        if not new_scenario.has_dense_delays:
+            # Compact delay sources have no row/column gather to delta; the
+            # full rebuild is already O(clients + nodes·servers) and validates
+            # the new snapshot.
+            return new_scenario, CAPInstance.from_scenario(new_scenario)
         if server_churn is None:
             new_instance = state.instance.apply_delta(
                 old_to_new=churn.old_to_new,

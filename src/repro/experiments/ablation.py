@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import repro.baselines  # noqa: F401 - registers the baseline solvers
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
 from repro.utils.rng import SeedLike
@@ -84,10 +84,11 @@ def run_ablation(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> AblationResult:
     """Run the ablation comparison on one configuration."""
     variants = list(variants or DEFAULT_ABLATION_VARIANTS)
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     result = run_replications(
         config,
         variants,

@@ -22,7 +22,7 @@ import repro.baselines  # noqa: F401 - registers the baseline solvers
 from repro.baselines.central import centralize_servers
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
-from repro.experiments.config import PAPER_TABLE1_LABELS, config_from_label
+from repro.experiments.config import PAPER_TABLE1_LABELS, apply_delay_backend, config_from_label
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, aggregate
@@ -84,12 +84,15 @@ def run_baseline_comparison(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> BaselineComparisonResult:
     """Compare the paper's algorithms against the related-work baselines."""
     solvers = list(solvers or DEFAULT_SOLVERS)
     results: Dict[str, ReplicatedResult] = {}
     for label in labels:
-        config = config_from_label(label, correlation=correlation)
+        config = apply_delay_backend(
+            config_from_label(label, correlation=correlation), delay_backend
+        )
         results[label] = run_replications(
             config,
             solvers,
@@ -131,9 +134,10 @@ def run_centralization_comparison(
     correlation: float = 0.5,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> CentralizationResult:
     """Compare the GDSA against a centralised deployment of the same servers."""
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     rng = as_generator(seed)
     run_rngs = spawn_generators(rng, num_runs)
 

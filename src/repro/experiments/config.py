@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.regret import BACKENDS as _SOLVER_BACKENDS
+from repro.topology.delay_backends import DELAY_BACKENDS as _DELAY_BACKENDS
 from repro.world.scenario import DVEConfig
 
 __all__ = [
     "ExperimentConfig",
+    "apply_delay_backend",
     "parse_config_label",
     "config_from_label",
     "PAPER_TABLE1_LABELS",
@@ -49,12 +51,18 @@ class ExperimentConfig:
         Max-regret placement backend forwarded to every solve
         (``"vectorized"`` / ``"loop"``; ``None`` uses the library default).
         The backends are bit-identical, so this only affects runtime.
+    delay_backend:
+        Delay backend every scenario is built with (``"dense"`` /
+        ``"coords"`` / ``"sparse"``; ``None`` keeps each driver's configured
+        default).  Unlike ``solver_backend``, the compact backends trade a
+        bounded accuracy loss for O(clients) memory.
     """
 
     num_runs: int = 3
     seed: int = 0
     workers: Optional[int] = None
     solver_backend: Optional[str] = None
+    delay_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_runs < 1:
@@ -65,20 +73,39 @@ class ExperimentConfig:
             raise ValueError(
                 f"solver_backend must be one of {_SOLVER_BACKENDS}, got {self.solver_backend!r}"
             )
+        if self.delay_backend is not None and self.delay_backend not in _DELAY_BACKENDS:
+            raise ValueError(
+                f"delay_backend must be one of {_DELAY_BACKENDS}, got {self.delay_backend!r}"
+            )
 
     def run_kwargs(self, supports_workers: bool = True) -> Dict[str, object]:
         """Keyword arguments for an experiment driver's ``run`` callable.
 
-        ``workers`` and ``solver_backend`` are included only when set (and,
-        for ``workers``, supported), so drivers and test doubles without the
-        knobs keep working untouched.
+        ``workers``, ``solver_backend`` and ``delay_backend`` are included
+        only when set (and, for ``workers``, supported), so drivers and test
+        doubles without the knobs keep working untouched.
         """
         kwargs: Dict[str, object] = {"num_runs": self.num_runs, "seed": self.seed}
         if supports_workers and self.workers is not None:
             kwargs["workers"] = self.workers
         if self.solver_backend is not None:
             kwargs["solver_backend"] = self.solver_backend
+        if self.delay_backend is not None:
+            kwargs["delay_backend"] = self.delay_backend
         return kwargs
+
+
+def apply_delay_backend(config: DVEConfig, delay_backend: Optional[str]) -> DVEConfig:
+    """Override a DVE config's delay backend when one is requested.
+
+    The single threading point every experiment driver uses: ``None`` keeps
+    the config untouched (so defaults and explicit configs pass through),
+    anything else replaces the config's ``delay_backend`` field.
+    """
+    if delay_backend is None:
+        return config
+    return config.with_updates(delay_backend=delay_backend)
+
 
 _LABEL_RE = re.compile(
     r"^\s*(?P<servers>\d+)s-(?P<zones>\d+)z-(?P<clients>\d+)c-(?P<capacity>\d+(?:\.\d+)?)cp\s*$",

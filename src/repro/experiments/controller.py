@@ -23,7 +23,7 @@ from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.controller import RebalanceController, RebalancePolicy
 from repro.dynamics.infrastructure import ServerChurnSpec
 from repro.dynamics.migration import MigrationCostModel
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, GroupedRunningStats
 from repro.utils.pool import ordered_map
@@ -156,6 +156,7 @@ def run_controller(
     backend: str = "delta",
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> ControllerResult:
     """Run the controller-policy comparison experiment.
 
@@ -172,7 +173,7 @@ def run_controller(
         server_churn = ServerChurnSpec(num_joins=1, num_leaves=1, capacity_drift=0.05)
     if migration_cost is None:
         migration_cost = MigrationCostModel(cost_per_client=1.0)
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     if policies is None:
         # Budget the default ladder's capped policy at 25 % of the configured
         # population migrating per epoch (infinite when migrations are free).

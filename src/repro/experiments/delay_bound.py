@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
@@ -76,6 +76,7 @@ def run_delay_bound(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> DelayBoundResult:
     """Sweep the interactivity bound D and evaluate every algorithm at each value.
 
@@ -84,7 +85,7 @@ def run_delay_bound(
     directly comparable point-for-point.
     """
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     results: Dict[float, ReplicatedResult] = {}
     for bound in bounds_ms:
         results[float(bound)] = run_replications(

@@ -19,7 +19,7 @@ from repro.dynamics.engine import BACKENDS, ChurnSimulator
 from repro.dynamics.infrastructure import ServerChurnSpec
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import make_policy
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, GroupedRunningStats
@@ -119,6 +119,7 @@ def run_dynamics(
     correlation: float = 0.0,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> DynamicsResult:
     """Run the longitudinal dynamics experiment.
 
@@ -135,7 +136,7 @@ def run_dynamics(
     migration_cost = migration_cost or MigrationCostModel()
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     rng = as_generator(seed)
     run_rngs = spawn_generators(rng, num_runs)
 

@@ -30,7 +30,7 @@ from repro.core.arbitration import ARBITER_NAMES, CapacityArbiter, make_arbiter
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimulator
 from repro.dynamics.migration import MigrationCostModel
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, GroupedRunningStats
 from repro.utils.pool import ordered_map
@@ -174,6 +174,7 @@ def run_federation(
     backend: str = "delta",
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> FederationResult:
     """Run the federated-arbitration experiment.
 
@@ -187,7 +188,7 @@ def run_federation(
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     if client_weights is None:
         client_weights = tuple(float(num_shards - i) for i in range(num_shards))
     client_weights = tuple(float(w) for w in client_weights)

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.config import config_from_label
+from repro.experiments.config import apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.experiments.runner import run_replications
 from repro.io.tables import format_table
@@ -60,10 +60,11 @@ def run_figure4(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Figure4Result:
     """Run the Figure 4 experiment and return per-algorithm delay CDFs."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     if grid is None:
         grid = np.linspace(250.0, 500.0, 26)
     result = run_replications(

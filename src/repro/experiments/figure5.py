@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
@@ -72,13 +72,15 @@ def run_figure5(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Figure5Result:
     """Run the correlation sweep of Figure 5."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
     results: Dict[float, ReplicatedResult] = {}
     for delta in correlations:
-        config = config_from_label(
-            label, correlation=float(delta), delay_bound_ms=delay_bound_ms
+        config = apply_delay_backend(
+            config_from_label(label, correlation=float(delta), delay_bound_ms=delay_bound_ms),
+            delay_backend,
         )
         results[float(delta)] = run_replications(
             config,

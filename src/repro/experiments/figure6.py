@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.experiments.runner import ReplicatedResult, run_replications
 from repro.io.tables import format_table
@@ -70,6 +70,7 @@ def run_figure6(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Figure6Result:
     """Run the distribution-type sweep of Figure 6."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
@@ -78,12 +79,15 @@ def run_figure6(
         if dist_type not in DISTRIBUTION_TYPES:
             raise ValueError(f"unknown distribution type {dist_type}")
         physical, virtual = DISTRIBUTION_TYPES[dist_type]
-        config = config_from_label(
-            label,
-            correlation=correlation,
-            physical_distribution=physical,
-            virtual_distribution=virtual,
-            hot_zone_factor=hot_zone_factor,
+        config = apply_delay_backend(
+            config_from_label(
+                label,
+                correlation=correlation,
+                physical_distribution=physical,
+                virtual_distribution=virtual,
+                hot_zone_factor=hot_zone_factor,
+            ),
+            delay_backend,
         )
         results[int(dist_type)] = run_replications(
             config,

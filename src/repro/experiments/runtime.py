@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.optimal import OptimalOptions, solve_cap_optimal
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
-from repro.experiments.config import PAPER_TABLE1_LABELS, config_from_label
+from repro.experiments.config import PAPER_TABLE1_LABELS, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER
 from repro.io.tables import format_table
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
@@ -59,6 +59,7 @@ def run_runtime(
     optimal_time_limit: float = 60.0,
     correlation: float = 0.5,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> RuntimeResult:
     """Measure solver runtimes per configuration.
 
@@ -77,7 +78,9 @@ def run_runtime(
     all_solvers = list(solvers) + (["optimal"] if optimal_labels else [])
 
     for label, label_rng in zip(labels, label_rngs):
-        config = config_from_label(label, correlation=correlation)
+        config = apply_delay_backend(
+            config_from_label(label, correlation=correlation), delay_backend
+        )
         run_rngs = spawn_generators(label_rng, num_runs)
         per_solver: Dict[str, List[float]] = {s: [] for s in all_solvers}
         for run_index in range(num_runs):

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import (
     PAPER_SMALL_LABELS,
     PAPER_TABLE1_LABELS,
+    apply_delay_backend,
     config_from_label,
 )
 from repro.experiments.paper_values import (
@@ -87,6 +88,7 @@ def run_table1(
     share_topology: bool = False,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Table1Result:
     """Run the Table 1 experiment.
 
@@ -113,7 +115,9 @@ def run_table1(
     results: Dict[str, ReplicatedResult] = {}
     used_optimal: List[str] = []
     for label in labels:
-        config = config_from_label(label, correlation=correlation)
+        config = apply_delay_backend(
+            config_from_label(label, correlation=correlation), delay_backend
+        )
         algo_list = list(algorithms)
         if include_optimal and label in set(optimal_labels):
             algo_list.append("optimal")

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import ChurnSimulator, EpochRecord
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import PAPER_ALGORITHM_ORDER, PAPER_TABLE3_PQOS
 from repro.io.tables import format_table
 from repro.metrics.summary import AggregateStat, aggregate
@@ -91,6 +91,7 @@ def run_table3(
     correlation: float = 0.0,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Table3Result:
     """Run the dynamics experiment of Table 3.
 
@@ -102,7 +103,7 @@ def run_table3(
     """
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
     churn = churn or ChurnSpec()
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     rng = as_generator(seed)
     run_rngs = spawn_generators(rng, num_runs)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import PAPER_DEFAULT_LABEL, config_from_label
+from repro.experiments.config import PAPER_DEFAULT_LABEL, apply_delay_backend, config_from_label
 from repro.experiments.paper_values import (
     PAPER_ALGORITHM_ORDER,
     PAPER_TABLE4_PQOS,
@@ -78,10 +78,11 @@ def run_table4(
     share_topology: bool = True,
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
+    delay_backend: Optional[str] = None,
 ) -> Table4Result:
     """Run the imperfect-input-data experiment of Table 4."""
     algorithms = list(algorithms or PAPER_ALGORITHM_ORDER)
-    config = config_from_label(label, correlation=correlation)
+    config = apply_delay_backend(config_from_label(label, correlation=correlation), delay_backend)
     results: Dict[float, ReplicatedResult] = {}
     for factor in error_factors:
         estimator = DelayEstimator(ErrorModel(float(factor), name=f"e={factor}"))

@@ -1,0 +1,592 @@
+"""Pluggable delay backends: dense, coordinate-predicted and sparse delays.
+
+Every scenario used to materialise a dense ``num_clients × num_servers``
+delay matrix, so memory grew O(k·m) and capped worlds at a few thousand
+clients.  The key structural fact this module exploits is that clients live
+*at topology nodes*: ``delay(c, s) = rtt[node(c), node(s)]``, so a
+``(num_nodes, num_servers)`` node→server table plus the ``(num_clients,)``
+node index of every client determines every client→server delay exactly —
+O(nodes·m + clients) state instead of O(k·m).
+
+Three backends share that representation:
+
+``"dense"``
+    The executable specification: the existing :class:`DelayModel` slices,
+    bit-identical to the historical behaviour.  Scenarios built with this
+    backend carry a real ndarray, exactly as before.
+``"coords"``
+    The node→server table is *predicted* from Vivaldi-style network
+    coordinates (:mod:`repro.topology.coordinates`) fitted once per delay
+    model: O(n·dim) floats replace the O(n²) RTT matrix for delay queries,
+    at a bounded relative prediction error.
+``"sparse"``
+    Exact per-node delays, but each zone is restricted to its top-K nearby
+    candidate servers (selected from the topology around the zone's anchor
+    node).  Delays to non-candidate servers report a large finite sentinel
+    (:data:`SPARSE_FILL_DELAY_MS`), so the restriction expresses itself
+    purely through delay values and every solver works unchanged — the
+    per-instance candidate state is O(zones·K).
+
+Compact scenarios carry a :class:`CompactDelayMatrix` in place of the dense
+ndarray: a virtual ``(k, m)`` matrix exposing vectorised row / pair gathers
+and zone-aggregated fast paths, which is all the solvers' hot loops need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.topology.coordinates import (
+    DEFAULT_COORDS_DIM,
+    NetworkCoordinates,
+    fit_network_coordinates,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.topology.delays import DelayModel
+
+__all__ = [
+    "DELAY_BACKENDS",
+    "DEFAULT_DELAY_BACKEND",
+    "DEFAULT_COORDS_DIM",
+    "DEFAULT_SPARSE_TOP_K",
+    "SPARSE_FILL_DELAY_MS",
+    "CompactDelayMatrix",
+    "DelayBackend",
+    "DenseDelayBackend",
+    "CoordsDelayBackend",
+    "SparseDelayBackend",
+    "make_delay_backend",
+    "network_coordinates_for",
+]
+
+#: Names accepted by configs and the ``--delay-backend`` CLI flag.
+DELAY_BACKENDS = ("dense", "coords", "sparse")
+#: The executable-spec default.
+DEFAULT_DELAY_BACKEND = "dense"
+#: Default per-zone candidate-set size of the sparse backend.
+DEFAULT_SPARSE_TOP_K = 8
+#: Finite sentinel delay (ms) reported for non-candidate servers — far above
+#: any realistic delay bound, so such pairings always count as QoS violations,
+#: yet finite so every arithmetic path stays well-defined.
+SPARSE_FILL_DELAY_MS = 1.0e9
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+def _candidates_from_anchors(
+    node_server: np.ndarray, anchor_nodes: np.ndarray, top_k: int
+) -> np.ndarray:
+    """Per-zone K candidate servers as seen from the zone anchor nodes.
+
+    Half the budget goes to the nearest servers; the other half is strided
+    evenly across the remaining delay ranks, with the stride comb rotated by
+    the zone index.  Pure top-K-nearest sets overlap heavily between zones
+    anchored in the same region (and zones see near-identical delay rank
+    orders), so under tight capacity the candidate *union* stays tiny and the
+    solvers are forced onto non-candidate (sentinel-delay) servers, collapsing
+    pQoS.  The rotated strided tails keep per-zone state at O(zones·K) while
+    the union of real-delay fallbacks covers the whole fleet.
+    """
+    num_servers = node_server.shape[1]
+    top_k = min(int(top_k), num_servers)
+    anchor_delays = node_server[anchor_nodes]
+    order = np.argsort(anchor_delays, axis=1, kind="stable")
+    near = (top_k + 1) // 2
+    if near >= top_k or top_k == num_servers:
+        picks = order[:, :top_k]
+    else:
+        far = top_k - near
+        step = (num_servers - near) // far  # >= 1 because far <= num_servers - near
+        num_zones = order.shape[0]
+        # (zones, far) rank comb: stride `step` keeps picks distinct per zone,
+        # the zone-index phase makes consecutive zones cover different ranks.
+        phases = (np.arange(num_zones) % step)[:, None]
+        tail_ranks = near + np.arange(far)[None, :] * step + phases
+        picks = np.concatenate(
+            [order[:, :near], np.take_along_axis(order, tail_ranks, axis=1)], axis=1
+        )
+    return np.ascontiguousarray(picks, dtype=np.int64)
+
+
+def zone_anchor_nodes(
+    client_nodes: np.ndarray, client_zones: np.ndarray, num_zones: int, num_nodes: int
+) -> np.ndarray:
+    """Modal physical node of each zone's population (the zone "anchor").
+
+    Ties break to the lowest node index; zones with no clients anchor at the
+    globally most common client node (or node 0 for an empty population), so
+    candidate sets stay well-defined for every zone.
+    """
+    client_nodes = np.asarray(client_nodes, dtype=np.int64)
+    client_zones = np.asarray(client_zones, dtype=np.int64)
+    counts = np.zeros((num_zones, num_nodes), dtype=np.int64)
+    if client_nodes.size:
+        flat = np.bincount(
+            client_zones * num_nodes + client_nodes, minlength=num_zones * num_nodes
+        )
+        counts = flat.reshape(num_zones, num_nodes)
+    anchors = counts.argmax(axis=1).astype(np.int64)
+    empty = counts.sum(axis=1) == 0
+    if empty.any():
+        if client_nodes.size:
+            global_mode = int(np.bincount(client_nodes, minlength=num_nodes).argmax())
+        else:
+            global_mode = 0
+        anchors[empty] = global_mode
+    return anchors
+
+
+@dataclass(frozen=True)
+class CompactDelayMatrix:
+    """A virtual ``(num_clients, num_servers)`` delay matrix in O(n·m + k) state.
+
+    Entries are ``node_server[client_nodes[c], s]``; with candidate
+    restriction (sparse backend) entries for servers outside the client
+    zone's candidate set are :attr:`fill_value` instead.  The matrix carries
+    the generating :class:`DelayBackend` so scenario deltas can rebuild the
+    node→server table on server churn without densifying.
+
+    Attributes
+    ----------
+    backend:
+        The generating backend (rebuilds ``node_server`` on server churn).
+    server_nodes:
+        ``(m,)`` topology node of each server.
+    node_server:
+        ``(num_nodes, m)`` node→server delay table (ms, read-only).
+    client_nodes:
+        ``(k,)`` topology node of each client.
+    client_zones / zone_candidates / zone_anchors / fill_value:
+        Candidate restriction of the sparse backend (`None` for coords):
+        zone of each client, ``(num_zones, K)`` candidate server ids per
+        zone, the zone anchor nodes the candidates were selected from, and
+        the sentinel delay reported for non-candidate servers.
+    """
+
+    backend: "DelayBackend"
+    server_nodes: np.ndarray
+    node_server: np.ndarray
+    client_nodes: np.ndarray
+    client_zones: Optional[np.ndarray] = None
+    zone_candidates: Optional[np.ndarray] = None
+    zone_anchors: Optional[np.ndarray] = None
+    fill_value: float = SPARSE_FILL_DELAY_MS
+    _allowed_cache: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "server_nodes", np.asarray(self.server_nodes, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "client_nodes", np.asarray(self.client_nodes, dtype=np.int64)
+        )
+        if self.node_server.ndim != 2:
+            raise ValueError(
+                f"node_server must be 2-D, got shape {self.node_server.shape}"
+            )
+        if self.server_nodes.shape != (self.node_server.shape[1],):
+            raise ValueError("server_nodes must match node_server's column count")
+        restriction = (self.client_zones is None, self.zone_candidates is None,
+                       self.zone_anchors is None)
+        if len(set(restriction)) != 1:
+            raise ValueError(
+                "client_zones, zone_candidates and zone_anchors must be given together"
+            )
+        if self.zone_candidates is not None:
+            object.__setattr__(
+                self, "client_zones", np.asarray(self.client_zones, dtype=np.int64)
+            )
+            object.__setattr__(
+                self, "zone_candidates", np.asarray(self.zone_candidates, dtype=np.int64)
+            )
+            object.__setattr__(
+                self, "zone_anchors", np.asarray(self.zone_anchors, dtype=np.int64)
+            )
+            if self.client_zones.shape != self.client_nodes.shape:
+                raise ValueError("client_zones must match client_nodes in shape")
+            if self.zone_candidates.ndim != 2:
+                raise ValueError("zone_candidates must be (num_zones, K)")
+            if self.zone_anchors.shape != (self.zone_candidates.shape[0],):
+                raise ValueError("zone_anchors must have one entry per zone")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Virtual (num_clients, num_servers) shape."""
+        return (int(self.client_nodes.shape[0]), int(self.node_server.shape[1]))
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients (virtual rows)."""
+        return self.shape[0]
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers (virtual columns)."""
+        return self.shape[1]
+
+    @property
+    def num_zones(self) -> int:
+        """Zone count of the candidate restriction (0 when unrestricted)."""
+        return 0 if self.zone_candidates is None else int(self.zone_candidates.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by this matrix's per-instance arrays.
+
+        ``node_server`` is shared, backend-level state (one table per fleet
+        snapshot, not per scenario), so it is counted once here but does not
+        grow with the client count — the per-client cost is the index arrays.
+        """
+        total = self.server_nodes.nbytes + self.node_server.nbytes + self.client_nodes.nbytes
+        if self.zone_candidates is not None:
+            total += self.client_zones.nbytes + self.zone_candidates.nbytes
+            total += self.zone_anchors.nbytes
+        return total
+
+    def _allowed(self) -> np.ndarray:
+        """Cached ``(num_zones, m)`` candidate mask (sparse backend only)."""
+        cached = self._allowed_cache
+        if cached is None:
+            num_zones, top_k = self.zone_candidates.shape
+            cached = np.zeros((num_zones, self.num_servers), dtype=bool)
+            rows = np.repeat(np.arange(num_zones), top_k)
+            cached[rows, self.zone_candidates.ravel()] = True
+            cached = _read_only(cached)
+            object.__setattr__(self, "_allowed_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Gathers — the dense fancy-indexing idioms the solvers rely on.
+    # ------------------------------------------------------------------ #
+    def rows(self, clients: Union[int, np.ndarray]) -> np.ndarray:
+        """Delay rows, mirroring ``dense[clients]`` (fresh, writable array)."""
+        clients = np.asarray(clients, dtype=np.int64)
+        out = self.node_server[self.client_nodes[clients]]
+        if self.zone_candidates is not None:
+            out = np.where(
+                self._allowed()[self.client_zones[clients]], out, self.fill_value
+            )
+        elif out.base is not None or not out.flags.writeable:
+            out = out.copy()
+        return out
+
+    def pairs(
+        self, clients: Union[int, np.ndarray], servers: Union[int, np.ndarray]
+    ) -> np.ndarray:
+        """Elementwise delays, mirroring ``dense[clients, servers]`` broadcasting."""
+        clients = np.asarray(clients, dtype=np.int64)
+        servers = np.asarray(servers, dtype=np.int64)
+        out = self.node_server[self.client_nodes[clients], servers]
+        if self.zone_candidates is not None:
+            allowed = self._allowed()[self.client_zones[clients], servers]
+            out = np.where(allowed, out, self.fill_value)
+        return out
+
+    def toarray(self) -> np.ndarray:
+        """Materialise the full dense ``(k, m)`` matrix (small worlds only)."""
+        return self.rows(np.arange(self.num_clients))
+
+    # ------------------------------------------------------------------ #
+    # Zone-aggregated fast paths — O(zones·nodes + nodes·m) instead of O(k·m).
+    # ------------------------------------------------------------------ #
+    def _zone_node_counts(self, client_zones: np.ndarray, num_zones: int) -> np.ndarray:
+        """``(num_zones, num_nodes)`` count of clients per (zone, node) cell."""
+        num_nodes = self.node_server.shape[0]
+        if client_zones.size == 0:
+            return np.zeros((num_zones, num_nodes), dtype=np.float64)
+        flat = np.bincount(
+            np.asarray(client_zones, dtype=np.int64) * num_nodes + self.client_nodes,
+            minlength=num_zones * num_nodes,
+        )
+        return flat.reshape(num_zones, num_nodes).astype(np.float64)
+
+    def zone_over_bound_counts(
+        self, bound: float, client_zones: np.ndarray, num_zones: int
+    ) -> np.ndarray:
+        """Per-zone count of clients whose delay to each server exceeds ``bound``.
+
+        Equivalent to scattering ``(delays > bound)`` per client into zones,
+        but computed as a (zones × nodes) @ (nodes × servers) product — counts
+        are integers, so the result is exact regardless of summation order.
+        """
+        counts = self._zone_node_counts(client_zones, num_zones)
+        per_zone = counts @ (self.node_server > bound).astype(np.float64)
+        if self.zone_candidates is not None:
+            zone_pop = counts.sum(axis=1)
+            per_zone = np.where(self._allowed(), per_zone, zone_pop[:, None])
+        return per_zone
+
+    def zone_direct_aggregates(
+        self,
+        bound: float,
+        client_zones: np.ndarray,
+        num_zones: int,
+        server_self_delays: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-zone within-bound counts and excess-delay sums for zone moves.
+
+        For every (zone, server) pair, aggregates the *direct* delays
+        ``delay(c, s) + server_self_delays[s]`` of the zone's clients:
+        the count of clients within ``bound`` and the summed excess
+        ``max(direct - bound, 0)`` — the two matrices
+        :func:`repro.core.local_search` needs to score wholesale zone moves
+        without a dense ``(k, m)`` matrix.
+        """
+        counts = self._zone_node_counts(client_zones, num_zones)
+        direct = self.node_server + np.asarray(server_self_delays, dtype=np.float64)[None, :]
+        within = counts @ (direct <= bound).astype(np.float64)
+        excess = counts @ np.maximum(direct - bound, 0.0)
+        if self.zone_candidates is not None:
+            allowed = self._allowed()
+            zone_pop = counts.sum(axis=1)
+            fill_direct = self.fill_value + np.asarray(server_self_delays, dtype=np.float64)
+            fill_excess = np.maximum(fill_direct - bound, 0.0)
+            within = np.where(allowed, within, 0.0)
+            excess = np.where(allowed, excess, zone_pop[:, None] * fill_excess[None, :])
+        return within, excess
+
+    def zone_delay_sums(self, client_zones: np.ndarray, num_zones: int) -> np.ndarray:
+        """Per-zone sum of client delays to each server (``(num_zones, m)``)."""
+        counts = self._zone_node_counts(client_zones, num_zones)
+        sums = counts @ self.node_server
+        if self.zone_candidates is not None:
+            zone_pop = counts.sum(axis=1)
+            sums = np.where(self._allowed(), sums, zone_pop[:, None] * self.fill_value)
+        return sums
+
+    # ------------------------------------------------------------------ #
+    # Scenario-delta transformations.
+    # ------------------------------------------------------------------ #
+    def with_clients(
+        self, client_nodes: np.ndarray, client_zones: Optional[np.ndarray] = None
+    ) -> "CompactDelayMatrix":
+        """New matrix for a different client population (O(k), no regather).
+
+        The node→server table and the candidate sets are shared by reference;
+        only the per-client index arrays change.  Candidate sets are pinned
+        at build time (they depend on zone anchors, not individual clients),
+        which keeps churn epochs O(churn) and assignments stable.
+        """
+        if self.zone_candidates is not None and client_zones is None:
+            raise ValueError("a candidate-restricted matrix needs the new client zones")
+        return CompactDelayMatrix(
+            backend=self.backend,
+            server_nodes=self.server_nodes,
+            node_server=self.node_server,
+            client_nodes=client_nodes,
+            client_zones=client_zones if self.zone_candidates is not None else None,
+            zone_candidates=self.zone_candidates,
+            zone_anchors=self.zone_anchors,
+            fill_value=self.fill_value,
+            _allowed_cache=self._allowed_cache,
+        )
+
+    def with_servers(self, server_nodes: np.ndarray) -> "CompactDelayMatrix":
+        """New matrix for a different fleet: rebuild the node→server table.
+
+        O(nodes·m) — independent of the client count.  Candidate sets are
+        re-selected from the stored zone anchors against the new fleet.
+        """
+        server_nodes = np.asarray(server_nodes, dtype=np.int64)
+        node_server = self.backend.node_server_table(server_nodes)
+        candidates = None
+        if self.zone_candidates is not None:
+            candidates = _candidates_from_anchors(
+                node_server, self.zone_anchors, self.zone_candidates.shape[1]
+            )
+        return CompactDelayMatrix(
+            backend=self.backend,
+            server_nodes=server_nodes,
+            node_server=node_server,
+            client_nodes=self.client_nodes,
+            client_zones=self.client_zones,
+            zone_candidates=candidates,
+            zone_anchors=self.zone_anchors,
+            fill_value=self.fill_value,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Backends
+# ---------------------------------------------------------------------- #
+class DelayBackend:
+    """Strategy for producing a scenario's delay arrays from a delay model."""
+
+    name: str = "abstract"
+
+    def __init__(self, delay_model: "DelayModel") -> None:
+        self.delay_model = delay_model
+
+    def node_server_table(self, server_nodes: np.ndarray) -> np.ndarray:
+        """``(num_nodes, m)`` node→server delay table (read-only)."""
+        raise NotImplementedError
+
+    def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
+        """Inter-server mesh delays (zero diagonal)."""
+        raise NotImplementedError
+
+    def client_matrix(
+        self,
+        client_nodes: np.ndarray,
+        client_zones: np.ndarray,
+        num_zones: int,
+        server_nodes: np.ndarray,
+    ) -> Union[np.ndarray, CompactDelayMatrix]:
+        """The scenario's client→server delay matrix (dense or compact)."""
+        raise NotImplementedError
+
+
+class DenseDelayBackend(DelayBackend):
+    """The executable spec: historical dense matrices, bit-identical."""
+
+    name = "dense"
+
+    def node_server_table(self, server_nodes: np.ndarray) -> np.ndarray:
+        return self.delay_model.client_server_delays(
+            np.arange(self.delay_model.num_nodes), server_nodes
+        )
+
+    def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
+        return self.delay_model.server_server_delays(server_nodes)
+
+    def client_matrix(
+        self,
+        client_nodes: np.ndarray,
+        client_zones: np.ndarray,
+        num_zones: int,
+        server_nodes: np.ndarray,
+    ) -> np.ndarray:
+        return self.delay_model.client_server_delays(client_nodes, server_nodes)
+
+
+class CoordsDelayBackend(DelayBackend):
+    """Vivaldi-coordinate predictions: O(n·dim) state, approximate delays."""
+
+    name = "coords"
+
+    def __init__(self, delay_model: "DelayModel", dim: int = DEFAULT_COORDS_DIM) -> None:
+        super().__init__(delay_model)
+        self.dim = int(dim)
+
+    @property
+    def coordinates(self) -> NetworkCoordinates:
+        """The fitted embedding (cached on the delay model, shared per dim)."""
+        return network_coordinates_for(self.delay_model, dim=self.dim)
+
+    def node_server_table(self, server_nodes: np.ndarray) -> np.ndarray:
+        coords = self.coordinates
+        all_nodes = np.arange(coords.num_nodes)
+        return _read_only(coords.predict_matrix(all_nodes, server_nodes))
+
+    def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
+        mesh = self.coordinates.predict_matrix(server_nodes, server_nodes)
+        mesh *= self.delay_model.server_mesh_factor
+        np.fill_diagonal(mesh, 0.0)
+        return mesh
+
+    def client_matrix(
+        self,
+        client_nodes: np.ndarray,
+        client_zones: np.ndarray,
+        num_zones: int,
+        server_nodes: np.ndarray,
+    ) -> CompactDelayMatrix:
+        server_nodes = np.asarray(server_nodes, dtype=np.int64)
+        return CompactDelayMatrix(
+            backend=self,
+            server_nodes=server_nodes,
+            node_server=self.node_server_table(server_nodes),
+            client_nodes=client_nodes,
+        )
+
+
+class SparseDelayBackend(DelayBackend):
+    """Exact delays on per-zone top-K candidate servers, sentinel elsewhere."""
+
+    name = "sparse"
+
+    def __init__(
+        self, delay_model: "DelayModel", top_k: int = DEFAULT_SPARSE_TOP_K
+    ) -> None:
+        super().__init__(delay_model)
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = int(top_k)
+
+    def node_server_table(self, server_nodes: np.ndarray) -> np.ndarray:
+        server_nodes = self.delay_model._check_nodes(server_nodes, "server_nodes")
+        # Advanced indexing already yields a fresh array; just seal it.
+        return _read_only(self.delay_model.rtt[:, server_nodes])
+
+    def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
+        return self.delay_model.server_server_delays(server_nodes)
+
+    def client_matrix(
+        self,
+        client_nodes: np.ndarray,
+        client_zones: np.ndarray,
+        num_zones: int,
+        server_nodes: np.ndarray,
+    ) -> CompactDelayMatrix:
+        server_nodes = np.asarray(server_nodes, dtype=np.int64)
+        node_server = self.node_server_table(server_nodes)
+        anchors = zone_anchor_nodes(
+            client_nodes, client_zones, num_zones, self.delay_model.num_nodes
+        )
+        candidates = _candidates_from_anchors(node_server, anchors, self.top_k)
+        return CompactDelayMatrix(
+            backend=self,
+            server_nodes=server_nodes,
+            node_server=node_server,
+            client_nodes=client_nodes,
+            client_zones=client_zones,
+            zone_candidates=candidates,
+            zone_anchors=anchors,
+        )
+
+
+def make_delay_backend(
+    name: str,
+    delay_model: "DelayModel",
+    coords_dim: int = DEFAULT_COORDS_DIM,
+    sparse_top_k: int = DEFAULT_SPARSE_TOP_K,
+) -> DelayBackend:
+    """Instantiate a delay backend by name."""
+    if name == "dense":
+        return DenseDelayBackend(delay_model)
+    if name == "coords":
+        return CoordsDelayBackend(delay_model, dim=coords_dim)
+    if name == "sparse":
+        return SparseDelayBackend(delay_model, top_k=sparse_top_k)
+    raise ValueError(f"unknown delay backend {name!r}; expected one of {DELAY_BACKENDS}")
+
+
+def network_coordinates_for(
+    delay_model: "DelayModel", dim: int = DEFAULT_COORDS_DIM
+) -> NetworkCoordinates:
+    """Fit (or reuse) the delay model's network-coordinate embedding.
+
+    The fit is cached on the delay model keyed by dimension, so every
+    scenario, federation shard and experiment replication sharing a delay
+    model shares one embedding — and the fit's internal RNG never touches
+    any scenario stream.
+    """
+    cache = getattr(delay_model, "_coords_cache", None)
+    if cache is None:
+        cache = {}
+        delay_model._coords_cache = cache
+    coords = cache.get(dim)
+    if coords is None:
+        coords = fit_network_coordinates(delay_model.rtt, dim=dim)
+        cache[dim] = coords
+    return coords

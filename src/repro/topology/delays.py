@@ -78,7 +78,7 @@ class DelayModel:
         return float(self.rtt[u, v])
 
     def client_server_delays(
-        self, client_nodes: np.ndarray, server_nodes: np.ndarray
+        self, client_nodes: np.ndarray, server_nodes: np.ndarray, copy: bool = False
     ) -> np.ndarray:
         """Round-trip delays between clients and servers.
 
@@ -88,6 +88,12 @@ class DelayModel:
             ``(num_clients,)`` topology node index of each client.
         server_nodes:
             ``(num_servers,)`` topology node index of each server.
+        copy:
+            By default the result is a fresh but *read-only* array (the
+            advanced-indexing gather already allocates once; the historical
+            unconditional ``.copy()`` briefly doubled the largest allocation
+            in the rebuild path for no benefit).  Pass ``copy=True`` to get a
+            writable matrix instead.
 
         Returns
         -------
@@ -96,7 +102,11 @@ class DelayModel:
         """
         client_nodes = self._check_nodes(client_nodes, "client_nodes")
         server_nodes = self._check_nodes(server_nodes, "server_nodes")
-        return self.rtt[np.ix_(client_nodes, server_nodes)].copy()
+        delays = self.rtt[np.ix_(client_nodes, server_nodes)]
+        if copy:
+            return delays
+        delays.flags.writeable = False
+        return delays
 
     def server_server_delays(self, server_nodes: np.ndarray) -> np.ndarray:
         """Round-trip delays over the inter-server mesh (discounted).

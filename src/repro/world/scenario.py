@@ -22,6 +22,14 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.topology.brite import BriteConfig, generate_topology
+from repro.topology.delay_backends import (
+    DEFAULT_COORDS_DIM,
+    DEFAULT_DELAY_BACKEND,
+    DEFAULT_SPARSE_TOP_K,
+    DELAY_BACKENDS,
+    CompactDelayMatrix,
+    make_delay_backend,
+)
 from repro.topology.delays import (
     DEFAULT_MAX_RTT_MS,
     DEFAULT_SERVER_MESH_FACTOR,
@@ -79,6 +87,9 @@ class DVEConfig:
     max_rtt_ms: float = DEFAULT_MAX_RTT_MS
     server_mesh_factor: float = DEFAULT_SERVER_MESH_FACTOR
     topology: BriteConfig = field(default_factory=BriteConfig)
+    delay_backend: str = DEFAULT_DELAY_BACKEND
+    coords_dim: int = DEFAULT_COORDS_DIM
+    sparse_top_k: int = DEFAULT_SPARSE_TOP_K
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -90,6 +101,15 @@ class DVEConfig:
         check_positive(self.total_capacity_mbps, "total_capacity_mbps")
         check_positive(self.delay_bound_ms, "delay_bound_ms")
         check_probability(self.correlation, "correlation")
+        if self.delay_backend not in DELAY_BACKENDS:
+            raise ValueError(
+                f"unknown delay backend {self.delay_backend!r}; "
+                f"expected one of {DELAY_BACKENDS}"
+            )
+        if self.coords_dim < 1:
+            raise ValueError("coords_dim must be >= 1")
+        if self.sparse_top_k < 1:
+            raise ValueError("sparse_top_k must be >= 1")
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,7 +159,11 @@ class DVEScenario:
     population:
         Client physical nodes and avatar zones.
     client_server_delays:
-        ``(num_clients, num_servers)`` RTT matrix (ms).
+        ``(num_clients, num_servers)`` RTT matrix (ms) — a dense ndarray for
+        the ``"dense"`` delay backend, a
+        :class:`~repro.topology.delay_backends.CompactDelayMatrix` (same
+        virtual shape, O(nodes·servers + clients) state) for ``"coords"`` /
+        ``"sparse"``.
     server_server_delays:
         ``(num_servers, num_servers)`` inter-server mesh RTT matrix (ms).
     client_demands:
@@ -157,6 +181,16 @@ class DVEScenario:
     client_demands: np.ndarray
 
     # ------------------------------------------------------------------ #
+    @property
+    def has_dense_delays(self) -> bool:
+        """True when ``client_server_delays`` is a real dense ndarray.
+
+        Scenarios built with the ``"coords"`` / ``"sparse"`` delay backends
+        carry a :class:`~repro.topology.delay_backends.CompactDelayMatrix`
+        instead — O(nodes·servers + clients) state rather than O(k·m).
+        """
+        return not isinstance(self.client_server_delays, CompactDelayMatrix)
+
     @property
     def num_servers(self) -> int:
         """Number of servers."""
@@ -204,7 +238,12 @@ class DVEScenario:
         """
         if population.zones.size and population.zones.max() >= self.num_zones:
             raise ValueError("population refers to zones outside this scenario's world")
-        delays = self.delay_model.client_server_delays(population.nodes, self.servers.nodes)
+        if self.has_dense_delays:
+            delays = self.delay_model.client_server_delays(population.nodes, self.servers.nodes)
+        else:
+            # Compact path: the node→server table and candidate sets carry
+            # over by reference; only the O(k) index arrays change.
+            delays = self.client_server_delays.with_clients(population.nodes, population.zones)
         demands = self.config.bandwidth_model.client_target_demands(
             population.zones, self.num_zones
         )
@@ -245,14 +284,20 @@ class DVEScenario:
         if population.zones.size and population.zones.max() >= self.num_zones:
             raise ValueError("population refers to zones outside this scenario's world")
 
-        delays = np.empty((population.num_clients, self.num_servers), dtype=np.float64)
-        survivors_old = np.flatnonzero(churn.old_to_new >= 0)
-        delays[churn.old_to_new[survivors_old]] = self.client_server_delays[survivors_old]
-        if churn.new_client_indices.size:
-            join_nodes = population.nodes[churn.new_client_indices]
-            delays[churn.new_client_indices] = self.delay_model.client_server_delays(
-                join_nodes, self.servers.nodes
-            )
+        if self.has_dense_delays:
+            delays = np.empty((population.num_clients, self.num_servers), dtype=np.float64)
+            survivors_old = np.flatnonzero(churn.old_to_new >= 0)
+            delays[churn.old_to_new[survivors_old]] = self.client_server_delays[survivors_old]
+            if churn.new_client_indices.size:
+                join_nodes = population.nodes[churn.new_client_indices]
+                delays[churn.new_client_indices] = self.delay_model.client_server_delays(
+                    join_nodes, self.servers.nodes
+                )
+        else:
+            # Compact path: delays are derived from the per-client node
+            # indices, so the "delta" is the O(k) index swap itself — churn
+            # epochs never densify, whatever the batch size.
+            delays = self.client_server_delays.with_clients(population.nodes, population.zones)
         demands = self.config.bandwidth_model.client_target_demands(
             population.zones, self.num_zones
         )
@@ -278,6 +323,14 @@ class DVEScenario:
         """
         if servers.nodes.size and servers.nodes.max() >= self.topology.num_nodes:
             raise ValueError("servers refer to nodes outside this scenario's topology")
+        if self.has_dense_delays:
+            delays = self.delay_model.client_server_delays(self.population.nodes, servers.nodes)
+            mesh = self.delay_model.server_server_delays(servers.nodes)
+        else:
+            # Compact path: rebuild the O(nodes·m) node→server table (and the
+            # per-zone candidate sets) — independent of the client count.
+            delays = self.client_server_delays.with_servers(servers.nodes)
+            mesh = delays.backend.server_server_delays(servers.nodes)
         return DVEScenario(
             config=self.config,
             topology=self.topology,
@@ -285,10 +338,8 @@ class DVEScenario:
             servers=servers,
             world=self.world,
             population=self.population,
-            client_server_delays=self.delay_model.client_server_delays(
-                self.population.nodes, servers.nodes
-            ),
-            server_server_delays=self.delay_model.server_server_delays(servers.nodes),
+            client_server_delays=delays,
+            server_server_delays=mesh,
             client_demands=self.client_demands,
         )
 
@@ -336,6 +387,24 @@ class DVEScenario:
             )
         if servers.nodes.size and servers.nodes.max() >= self.topology.num_nodes:
             raise ValueError("servers refer to nodes outside this scenario's topology")
+
+        if not self.has_dense_delays:
+            # Compact path: the full node→server rebuild already costs only
+            # O(nodes·m), so the column-delta optimisation has nothing to
+            # save — reuse the with_servers machinery.
+            delays = self.client_server_delays.with_servers(servers.nodes)
+            mesh = delays.backend.server_server_delays(servers.nodes)
+            return DVEScenario(
+                config=self.config,
+                topology=self.topology,
+                delay_model=self.delay_model,
+                servers=servers,
+                world=self.world,
+                population=self.population,
+                client_server_delays=delays,
+                server_server_delays=mesh,
+                client_demands=self.client_demands,
+            )
 
         delays = np.empty((self.num_clients, servers.num_servers), dtype=np.float64)
         survivors_old = np.flatnonzero(server_churn.old_to_new >= 0)
@@ -449,8 +518,20 @@ def build_scenario(
     population = ClientPopulation(nodes=client_nodes, zones=client_zones)
 
     world = VirtualWorld(num_zones=config.num_zones)
-    client_server_delays = delay_model.client_server_delays(client_nodes, servers.nodes)
-    server_server_delays = delay_model.server_server_delays(servers.nodes)
+    if config.delay_backend == "dense":
+        client_server_delays = delay_model.client_server_delays(client_nodes, servers.nodes)
+        server_server_delays = delay_model.server_server_delays(servers.nodes)
+    else:
+        backend = make_delay_backend(
+            config.delay_backend,
+            delay_model,
+            coords_dim=config.coords_dim,
+            sparse_top_k=config.sparse_top_k,
+        )
+        client_server_delays = backend.client_matrix(
+            client_nodes, client_zones, config.num_zones, servers.nodes
+        )
+        server_server_delays = backend.server_server_delays(servers.nodes)
     client_demands = config.bandwidth_model.client_target_demands(
         client_zones, config.num_zones
     )
