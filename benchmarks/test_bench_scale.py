@@ -232,3 +232,11 @@ def test_bench_scale(benchmark, record):
         dense_small = results["dense"][0]
         assert abs(rungs[10_000]["pqos"] - dense_small["pqos"]) <= 0.15, backend
         assert rungs[top]["pqos"] >= 0.80, (backend, rungs[top])
+
+    # Churn-proportional solves: doubling the population from 50k to 100k must
+    # not super-linearise the sparse from-scratch solve (the 100k rung used to
+    # pay a superlinear stale-re-evaluation term inside the placement engine).
+    if FULL and 100_000 in COMPACT_RUNGS:
+        sparse = {rung["num_clients"]: rung for rung in results["sparse"]}
+        ratio = sparse[100_000]["solve_seconds"] / sparse[50_000]["solve_seconds"]
+        assert ratio <= 3.0, (ratio, sparse[100_000], sparse[50_000])

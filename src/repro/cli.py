@@ -31,6 +31,7 @@ from repro.core.registry import solve as registry_solve, solver_names
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
 from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimulator
+from repro.dynamics.measurement import MEASUREMENT_BACKENDS
 from repro.dynamics.infrastructure import ServerChurnSpec
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import POLICY_NAMES, make_policy
@@ -141,6 +142,20 @@ def _add_delay_backend_flag(parser: argparse.ArgumentParser) -> None:
             f"delay representation (default: {DEFAULT_DELAY_BACKEND}; 'coords' and "
             "'sparse' hold O(clients) state instead of the dense clients x servers "
             "matrix, trading a bounded pQoS accuracy loss for million-client scale)"
+        ),
+    )
+
+
+def _add_measurement_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--measurement-backend`` option to a sub-command parser."""
+    parser.add_argument(
+        "--measurement-backend",
+        default="full",
+        choices=MEASUREMENT_BACKENDS,
+        help=(
+            "per-epoch QoS/load accounting (default: full; 'incremental' "
+            "delta-updates the previous epoch's measurements from the churn "
+            "batch — records are bit-identical, epochs cost O(churn) to measure)"
         ),
     )
 
@@ -293,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_backend_flag(sim)
     _add_delay_backend_flag(sim)
+    _add_measurement_backend_flag(sim)
+    sim.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase wall-time breakdown (churn gen / world advance / "
+            "solve / measure) after the summary (single-run only)"
+        ),
+    )
 
     # federate ---------------------------------------------------------------
     fedp = sub.add_parser(
@@ -389,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_backend_flag(fedp)
     _add_delay_backend_flag(fedp)
+    _add_measurement_backend_flag(fedp)
 
     return parser
 
@@ -458,6 +483,7 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
         period,
         backend,
         solver_backend,
+        measurement_backend,
         rng,
     ) = task
     scenario_rng, sim_rng = spawn_generators(rng, 2)
@@ -474,16 +500,21 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
         policy_migration_budget=migration_budget,
         backend=backend,
         solver_backend=solver_backend,
+        measurement_backend=measurement_backend,
     )
     return simulator.run(num_epochs)
 
 
-def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, EpochRecord]]:
+def _simulate_records(
+    args: argparse.Namespace, config, profile_sink: Optional[dict] = None
+) -> Iterator[Tuple[int, EpochRecord]]:
     """Yield ``(run_index, record)`` pairs, streaming whenever possible.
 
     A single serial run streams straight from the engine's generator (O(1)
     record memory even for thousands of epochs); multi-run invocations fan
     the replications out over :func:`ordered_map` and stream run by run.
+    When ``profile_sink`` is given and the run is serial, the accumulated
+    per-phase wall times land in it under ``"phase_seconds"``.
     """
     churn = ChurnSpec(num_joins=args.joins, num_leaves=args.leaves, num_moves=args.moves)
     migration_cost = MigrationCostModel(cost_per_client=args.migration_cost)
@@ -504,9 +535,14 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             policy_migration_budget=args.migration_budget,
             backend=args.backend,
             solver_backend=args.solver_backend,
+            measurement_backend=args.measurement_backend,
         )
-        for record in simulator.stream(args.epochs):
-            yield 0, record
+        session = simulator.session(args.epochs)
+        while not session.done:
+            for record in session.run_epoch():
+                yield 0, record
+        if profile_sink is not None:
+            profile_sink["phase_seconds"] = dict(session.phase_seconds)
         return
     tasks = [
         (
@@ -521,6 +557,7 @@ def _simulate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, E
             args.period,
             args.backend,
             args.solver_backend,
+            args.measurement_backend,
             run_rngs[i],
         )
         for i in range(args.runs)
@@ -565,6 +602,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
                 "delay backend": config.delay_backend,
+                "measurement backend": args.measurement_backend,
                 "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
                 "server churn per epoch": fleet,
                 "migration cost / client": args.migration_cost,
@@ -597,7 +635,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 final_clients = record.num_clients_after
             num_records += 1
 
-    pairs = _simulate_records(args, config)
+    profile_sink: Optional[dict] = None
+    if args.profile:
+        if args.runs == 1:
+            profile_sink = {}
+        else:
+            print("note: --profile only applies to single-run invocations; ignoring\n")
+    pairs = _simulate_records(args, config, profile_sink=profile_sink)
     writer = None
     if args.csv:
         with CsvAppender(args.csv, ["run", *EpochRecord.FIELDS]) as writer:
@@ -634,6 +678,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             float_format=".3f",
         )
     )
+    if profile_sink is not None and "phase_seconds" in profile_sink:
+        phases = profile_sink["phase_seconds"]
+        total = sum(phases.values())
+        labels = {
+            "churn_gen": "churn generation",
+            "advance": "world advance",
+            "solve": "solve",
+            "measure": "measure",
+        }
+        rows = [
+            [
+                labels.get(key, key),
+                seconds,
+                seconds / args.epochs,
+                (100.0 * seconds / total) if total else 0.0,
+            ]
+            for key, seconds in phases.items()
+        ]
+        rows.append(["total", total, total / args.epochs, 100.0 if total else 0.0])
+        print()
+        print(
+            format_table(
+                ["phase", "seconds", "seconds / epoch", "% of total"],
+                rows,
+                title=f"Phase breakdown over {args.epochs} epoch(s)",
+                float_format=".4f",
+            )
+        )
     if args.csv:
         print(f"\n[{num_records} records streamed to {args.csv}]")
     return 0
@@ -674,6 +746,7 @@ def _build_federated_simulator(args: argparse.Namespace, config, rng) -> Federat
         policy_migration_budget=args.migration_budget,
         backend=args.backend,
         solver_backend=args.solver_backend,
+        measurement_backend=args.measurement_backend,
     )
 
 
@@ -743,6 +816,7 @@ def _cmd_federate(args: argparse.Namespace) -> int:
                 "policy": schedule.name,
                 "backend": args.backend,
                 "delay backend": config.delay_backend,
+                "measurement backend": args.measurement_backend,
                 "churn fraction per epoch": args.churn_fraction,
                 "migration cost / client": args.migration_cost,
                 "migration budget / shard": (

@@ -83,6 +83,11 @@ class Assignment:
         True when either phase had to exceed a server capacity (best effort).
     runtime_seconds:
         Total wall-clock time of both phases.
+    metadata:
+        Free-form side-channel (e.g. the measurement stash of
+        :mod:`repro.core.measures`).  Excluded from equality: it may hold
+        arrays, and it describes how the assignment was measured, not what
+        the assignment *is*.
     """
 
     zone_to_server: np.ndarray
@@ -90,7 +95,7 @@ class Assignment:
     algorithm: str = "unknown"
     capacity_exceeded: bool = False
     runtime_seconds: float = 0.0
-    metadata: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         zones = np.asarray(self.zone_to_server, dtype=np.int64)

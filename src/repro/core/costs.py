@@ -25,6 +25,8 @@ __all__ = [
     "initial_cost_matrix",
     "refined_cost_matrix",
     "refined_cost_columns",
+    "refined_cost_rows",
+    "refined_cost_candidates",
     "delays_to_targets",
     "qos_indicator",
 ]
@@ -88,16 +90,17 @@ def refined_cost_matrix(instance: CAPInstance, zone_to_server: np.ndarray) -> np
     return np.maximum(total_delay - instance.delay_bound, 0.0)
 
 
-def refined_cost_columns(
+def refined_cost_rows(
     instance: CAPInstance, zone_to_server: np.ndarray, clients: np.ndarray
 ) -> np.ndarray:
-    """Refined-cost columns ``C^R[:, clients]`` of shape (num_servers, len(clients)).
+    """Refined-cost rows ``C^R.T[clients]`` of shape (len(clients), num_servers).
 
-    Equal to ``refined_cost_matrix(instance, zone_to_server)[:, clients]``
-    without materialising the dense (num_servers, num_clients) matrix first —
-    GreC only ever needs the columns of the clients that miss the bound
-    directly (the paper's list ``L_E``), which on large populations is a small
-    fraction of the whole matrix.
+    The transpose of :func:`refined_cost_columns`, built *row-major*: the
+    delay gather (``delay_rows``) already returns one contiguous row per
+    client, so accumulating the mesh legs and the bound in place keeps every
+    pass contiguous — no (num_servers, len(clients)) strided write.  GreC
+    hands the transposed view straight to the vectorized placement engine,
+    whose per-item gathers want exactly this layout.
     """
     zone_to_server = np.asarray(zone_to_server, dtype=np.int64)
     if zone_to_server.shape != (instance.num_zones,):
@@ -114,8 +117,73 @@ def refined_cost_columns(
     if clients.size and (clients.min() < 0 or clients.max() >= instance.num_clients):
         raise ValueError("clients contains invalid client indices")
     targets = zone_to_server[instance.client_zones[clients]]  # (len(clients),)
-    total_delay = instance.delay_rows(clients).T + instance.server_server_delays[:, targets]
-    return np.maximum(total_delay - instance.delay_bound, 0.0)
+    # total[j, i] = d(c_j, s_i) + d(s_i, target_j); same operand order as the
+    # column form (delays first, mesh leg second), so the sums are bitwise
+    # equal to refined_cost_columns' transposed.
+    total_delay = instance.delay_rows(clients)  # fresh, writable, row-major
+    # Materialise the transposed mesh before the row gather: fancy-indexing
+    # rows of the F-ordered .T view strides through the whole mesh per row.
+    total_delay += np.ascontiguousarray(instance.server_server_delays.T)[targets]
+    total_delay -= instance.delay_bound
+    return np.maximum(total_delay, 0.0, out=total_delay)
+
+
+def refined_cost_candidates(
+    instance: CAPInstance, zone_to_server: np.ndarray, clients: np.ndarray
+):
+    """Refined costs restricted to each client's candidate servers, or ``None``.
+
+    For instances whose delay backend restricts zones to per-zone candidate
+    sets (the sparse backend), returns ``(servers, costs)`` of shape
+    ``(len(clients), K)``: the client zone's candidate server ids (ascending
+    per row) and the refined cost ``C^R`` of forwarding through each.  The
+    cost values are bitwise the corresponding entries of
+    :func:`refined_cost_rows` (same gather source, same operation order);
+    every *non*-candidate server carries the sentinel delay, so its refined
+    cost is at least ``fill_value - delay_bound`` — callers can treat the
+    candidate lists as a complete view of the servers worth forwarding
+    through.  ``None`` for dense or unrestricted (coords) instances.
+    """
+    if instance.has_dense_delays:
+        return None
+    if instance.client_server_delays.zone_candidates is None:
+        return None
+    zone_to_server = np.asarray(zone_to_server, dtype=np.int64)
+    if zone_to_server.shape != (instance.num_zones,):
+        raise ValueError(
+            f"zone_to_server must have shape ({instance.num_zones},), got {zone_to_server.shape}"
+        )
+    if zone_to_server.size and (
+        zone_to_server.min() < 0 or zone_to_server.max() >= instance.num_servers
+    ):
+        raise ValueError("zone_to_server contains invalid server indices")
+    clients = np.asarray(clients, dtype=np.int64)
+    if clients.ndim != 1:
+        raise ValueError("clients must be a 1-D index array")
+    if clients.size and (clients.min() < 0 or clients.max() >= instance.num_clients):
+        raise ValueError("clients contains invalid client indices")
+    # A fresh (len(clients), K) gather of the true candidate delays.
+    servers, total_delay = instance.client_server_delays.candidate_rows(clients)
+    targets = zone_to_server[instance.client_zones[clients]]
+    # Same elementwise operation order as refined_cost_rows (delay first,
+    # mesh leg second, then the bound), so entries stay bitwise equal.
+    total_delay += instance.server_server_delays[servers, targets[:, None]]
+    total_delay -= instance.delay_bound
+    return servers, np.maximum(total_delay, 0.0, out=total_delay)
+
+
+def refined_cost_columns(
+    instance: CAPInstance, zone_to_server: np.ndarray, clients: np.ndarray
+) -> np.ndarray:
+    """Refined-cost columns ``C^R[:, clients]`` of shape (num_servers, len(clients)).
+
+    Equal to ``refined_cost_matrix(instance, zone_to_server)[:, clients]``
+    without materialising the dense (num_servers, num_clients) matrix first —
+    GreC only ever needs the columns of the clients that miss the bound
+    directly (the paper's list ``L_E``), which on large populations is a small
+    fraction of the whole matrix.
+    """
+    return np.ascontiguousarray(refined_cost_rows(instance, zone_to_server, clients).T)
 
 
 def delays_to_targets(

@@ -16,12 +16,62 @@ from typing import Optional
 import numpy as np
 
 from repro.core.assignment import Assignment, ZoneAssignment, zone_server_loads
-from repro.core.costs import refined_cost_columns
+from repro.core.costs import refined_cost_candidates, refined_cost_rows
+from repro.core.measures import attach_measures
 from repro.core.problem import CAPInstance
-from repro.core.regret import max_regret_assign
+from repro.core.regret import (
+    RegretResult,
+    max_regret_assign,
+    max_regret_assign_candidates,
+)
 from repro.utils.timing import Timer
 
 __all__ = ["assign_contacts_greedy"]
+
+
+def _place_on_candidates(
+    instance: CAPInstance,
+    zone_to_server: np.ndarray,
+    helped: np.ndarray,
+    loads: np.ndarray,
+) -> Optional[RegretResult]:
+    """Candidate-list placement fast path (sparse delay backend), or ``None``.
+
+    On candidate-restricted instances every server outside a needy client's
+    zone candidates carries the sentinel delay, so its refined cost is at
+    least ``fill_value - delay_bound`` — the K candidate columns are the whole
+    finite-cost problem.  When every candidate cost sits strictly below that
+    sentinel floor (checked, not assumed), the placement runs through
+    :func:`~repro.core.regret.max_regret_assign_candidates` on the
+    ``(|L_E|, K)`` candidate costs — bit-identical to the full-matrix pass,
+    minus the O(|L_E| x m) cost rows and the per-item fleet partition.  The
+    full rows are still materialised on demand for the rare clients whose
+    whole candidate set runs out of capacity.
+    """
+    pair = refined_cost_candidates(instance, zone_to_server, helped)
+    if pair is None:
+        return None
+    servers, costs = pair
+    if servers.shape[1] < 2:
+        return None
+    fill = instance.client_server_delays.fill_value
+    if not costs.max() < fill - instance.delay_bound:
+        return None
+
+    def full_rows(cols: np.ndarray) -> np.ndarray:
+        rows = refined_cost_rows(instance, zone_to_server, helped[cols])
+        return np.negative(rows, out=rows)
+
+    return max_regret_assign_candidates(
+        candidate_servers=servers,
+        candidate_desirability=np.negative(costs, out=costs),
+        num_servers=instance.num_servers,
+        demands=2.0 * instance.client_demands[helped],
+        capacities=instance.server_capacities,
+        row_provider=full_rows,
+        initial_loads=loads,
+        fallback="skip",
+    )
 
 
 def assign_contacts_greedy(
@@ -67,40 +117,73 @@ def assign_contacts_greedy(
         contacts = targets.copy()
         capacity_exceeded = zone_assignment.capacity_exceeded
 
+        # Measurement-stash byproducts: the per-client delays under the final
+        # contact map, built from the direct delays already gathered above
+        # (the mesh diagonal is zero, so "contact == target" adds 0.0 — the
+        # exact expression Assignment.client_delays evaluates), and the
+        # per-server loads.  Only the clients the greedy pass actually
+        # forwards are re-evaluated below.
+        delays = direct_delay + instance.server_server_delays[targets, targets]
+        loads = zone_server_loads(instance, zone_assignment.zone_to_server)
+
         if needs_help.any():
             helped = np.flatnonzero(needs_help)
-            # (m, |L_E|): only the needy clients' refined-cost columns are
-            # computed — the dense (m, k) matrix would mostly be sliced away.
-            desirability = -refined_cost_columns(
-                instance, zone_assignment.zone_to_server, helped
-            )
-            loads = zone_server_loads(instance, zone_assignment.zone_to_server)
-            result = max_regret_assign(
-                desirability=desirability,
-                demands=2.0 * instance.client_demands[helped],
-                capacities=instance.server_capacities,
-                initial_loads=loads,
-                fallback="skip",
-                recompute=recompute_regret,
-                backend=backend,
-            )
+            result = None
+            if not recompute_regret and backend in (None, "vectorized"):
+                # Sparse-backend fast path: the needy clients' candidate
+                # lists are the whole finite-cost problem — O(|L_E| x K)
+                # instead of O(|L_E| x m).
+                result = _place_on_candidates(
+                    instance, zone_assignment.zone_to_server, helped, loads
+                )
+            if result is None:
+                # (|L_E|, m) row-major: only the needy clients' refined-cost
+                # rows are computed — the dense (m, k) matrix would mostly be
+                # sliced away — and the transposed view feeds the placement
+                # engine's row-major per-item gathers without a relayout copy.
+                cost_rows = refined_cost_rows(
+                    instance, zone_assignment.zone_to_server, helped
+                )
+                np.negative(cost_rows, out=cost_rows)
+                desirability = cost_rows.T
+                result = max_regret_assign(
+                    desirability=desirability,
+                    demands=2.0 * instance.client_demands[helped],
+                    capacities=instance.server_capacities,
+                    initial_loads=loads,
+                    fallback="skip",
+                    recompute=recompute_regret,
+                    backend=backend,
+                )
             chosen = result.item_to_server
             # Clients that could not be placed anywhere keep their target server
             # (zero extra bandwidth); the paper's pseudocode simply exhausts the
             # candidate list, which leaves the client on its target server too.
             placed = chosen >= 0
-            contacts[helped[placed]] = chosen[placed]
+            moved = helped[placed]
+            contacts[moved] = chosen[placed]
             # A client "placed" on its own target server costs RC = 0, but the
             # greedy pass above charged 2*RT for it; correct the accounting by
             # treating it as unforwarded (the arrays only store indices, so no
-            # load fix-up is needed here — Assignment.server_loads recomputes
-            # loads from scratch with the correct RC rule).
+            # load fix-up is needed here — the loads below re-scatter only the
+            # genuinely forwarded clients with the correct RC rule).
+            if moved.size:
+                delays[moved] = instance.delay_pairs(
+                    moved, chosen[placed]
+                ) + instance.server_server_delays[chosen[placed], targets[moved]]
+                forwarded = moved[chosen[placed] != targets[moved]]
+                if forwarded.size:
+                    np.add.at(
+                        loads, contacts[forwarded], 2.0 * instance.client_demands[forwarded]
+                    )
 
     suffix = "grec" if not recompute_regret else "grec-dynamic"
-    return Assignment(
+    assignment = Assignment(
         zone_to_server=zone_assignment.zone_to_server,
         contact_of_client=contacts,
         algorithm=f"{zone_assignment.algorithm}-{suffix}",
         capacity_exceeded=capacity_exceeded,
         runtime_seconds=zone_assignment.runtime_seconds + timer.elapsed,
     )
+    attach_measures(assignment, instance, delays, loads)
+    return assignment

@@ -14,13 +14,36 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.assignment import ZoneAssignment
 from repro.core.costs import initial_cost_matrix
 from repro.core.problem import CAPInstance
 from repro.core.regret import max_regret_assign
 from repro.utils.timing import Timer
 
-__all__ = ["assign_zones_greedy"]
+__all__ = ["assign_zones_greedy", "zone_fallback_candidates"]
+
+
+def zone_fallback_candidates(instance: CAPInstance) -> Optional[np.ndarray]:
+    """``(num_servers, num_zones)`` candidate mask for the fallback, or ``None``.
+
+    Only the sparse delay backend restricts each zone to a per-zone candidate
+    server set; everywhere else (dense, coords) every server is a candidate
+    and the mask is ``None`` — GreZ then places exactly as it always has.
+    With the mask, the ``least_loaded`` emergency placement becomes
+    *delay-aware*: a zone that fits nowhere is placed on the least-loaded
+    server **its clients can actually reach** instead of on whichever server
+    happens to have the most residual capacity — which, under the sparse
+    backend, is frequently a sentinel-delay (1e9 ms) server that zeroes the
+    zone's pQoS contribution.
+    """
+    source = instance.client_server_delays
+    mask = getattr(source, "candidate_mask", None)
+    if mask is None:
+        return None
+    allowed = mask()  # (num_zones, num_servers), read-only, cached
+    return None if allowed is None else allowed.T
 
 
 def assign_zones_greedy(
@@ -59,6 +82,7 @@ def assign_zones_greedy(
             fallback="least_loaded",
             recompute=recompute_regret,
             backend=backend,
+            fallback_allowed=zone_fallback_candidates(instance),
         )
     return ZoneAssignment(
         zone_to_server=result.item_to_server,

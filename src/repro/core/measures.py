@@ -1,0 +1,160 @@
+"""Measurement stash: per-assignment QoS / load aggregates with provenance.
+
+An :class:`~repro.core.assignment.Assignment`'s headline numbers (pQoS,
+utilisation) are reductions of two vectors — the per-client delay vector and
+the per-server load vector — that the refined phase computes as byproducts
+anyway.  The stash keeps those byproducts in ``Assignment.metadata`` so the
+measure phase of a churn epoch can serve its points in O(1) instead of
+re-walking the full client set, and so the dynamics engine can delta-update
+the carried-over point from the churn batch alone
+(:func:`repro.dynamics.measurement.carried_qos_count`).
+
+Validity is keyed on **instance identity**: a stash is only served when the
+caller's instance *is* the object the aggregates were measured against.  The
+same assignment evaluated against a different instance — the
+measurement-error experiments score estimated-delay assignments against true
+delays, the dynamics engine scores pre-churn assignments against post-churn
+populations — silently falls back to the full recompute, which stays the
+executable specification.  Every stash-served value is bit-identical to that
+specification (asserted by the property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import CAPInstance
+
+__all__ = [
+    "MEASURE_KEY",
+    "MeasureStash",
+    "attach_measures",
+    "stash_for",
+    "ensure_measures",
+    "measured_pqos",
+    "measured_utilization",
+    "measured_server_loads",
+]
+
+#: ``Assignment.metadata`` key under which the stash is kept.
+MEASURE_KEY = "measure"
+
+
+@dataclass
+class MeasureStash:
+    """Per-assignment measurement aggregates, valid for one exact instance.
+
+    Attributes
+    ----------
+    instance:
+        The instance the aggregates were measured against.  Validity is the
+        *identity* of this object — see the module docstring.
+    delays:
+        ``(num_clients,)`` per-client communication delay (ms), equal to
+        :meth:`~repro.core.assignment.Assignment.client_delays`.
+    qos_count:
+        Number of clients with delay within the bound (exact integer).
+    server_loads:
+        ``(num_servers,)`` per-server load (bits/s), equal to
+        :meth:`~repro.core.assignment.Assignment.server_loads`.
+    """
+
+    instance: CAPInstance
+    delays: np.ndarray
+    qos_count: int
+    server_loads: np.ndarray
+
+    def valid_for(self, instance: CAPInstance) -> bool:
+        """True when the aggregates were measured against ``instance`` itself."""
+        return self.instance is instance
+
+
+def attach_measures(
+    assignment: Assignment,
+    instance: CAPInstance,
+    delays: np.ndarray,
+    server_loads: np.ndarray,
+) -> MeasureStash:
+    """Attach a stash to ``assignment`` (mutates its metadata dict in place).
+
+    The arrays are marked read-only: the stash is shared by every
+    ``with_algorithm`` copy of the assignment (metadata dicts are shallow
+    copies), so accidental mutation would corrupt all of them at once.
+    """
+    delays = np.asarray(delays, dtype=np.float64)
+    server_loads = np.asarray(server_loads, dtype=np.float64)
+    if delays.shape != (instance.num_clients,):
+        raise ValueError("delays must have one entry per client")
+    if server_loads.shape != (instance.num_servers,):
+        raise ValueError("server_loads must have one entry per server")
+    delays.setflags(write=False)
+    server_loads.setflags(write=False)
+    stash = MeasureStash(
+        instance=instance,
+        delays=delays,
+        qos_count=int(np.count_nonzero(delays <= instance.delay_bound)),
+        server_loads=server_loads,
+    )
+    assignment.metadata[MEASURE_KEY] = stash
+    return stash
+
+
+def stash_for(assignment: Assignment, instance: CAPInstance) -> Optional[MeasureStash]:
+    """The assignment's stash when it is valid for ``instance``, else ``None``."""
+    stash = assignment.metadata.get(MEASURE_KEY)
+    if isinstance(stash, MeasureStash) and stash.valid_for(instance):
+        return stash
+    return None
+
+
+def ensure_measures(assignment: Assignment, instance: CAPInstance) -> MeasureStash:
+    """The valid stash, computing it with the full recompute if missing.
+
+    This is the bridge for assignments produced by solvers that do not stash
+    (baselines, the warm-start refiner): one O(clients) pass here buys every
+    later epoch the O(churn) delta path.
+    """
+    stash = stash_for(assignment, instance)
+    if stash is None:
+        stash = attach_measures(
+            assignment,
+            instance,
+            assignment.client_delays(instance),
+            assignment.server_loads(instance),
+        )
+    return stash
+
+
+def measured_pqos(assignment: Assignment, instance: CAPInstance) -> float:
+    """``assignment.pqos(instance)``, served from the stash when valid.
+
+    Bit-identical to the full recompute: a boolean mean is the exact
+    within-bound count divided by the population, and both divisions are
+    correctly rounded float64 operations on the same integers.
+    """
+    stash = stash_for(assignment, instance)
+    if stash is None:
+        return assignment.pqos(instance)
+    if instance.num_clients == 0:
+        return 1.0
+    return stash.qos_count / instance.num_clients
+
+
+def measured_utilization(assignment: Assignment, instance: CAPInstance) -> float:
+    """``assignment.resource_utilization(instance)``, stash-served when valid."""
+    stash = stash_for(assignment, instance)
+    if stash is None:
+        return assignment.resource_utilization(instance)
+    return float(stash.server_loads.sum() / instance.total_capacity())
+
+
+def measured_server_loads(assignment: Assignment, instance: CAPInstance) -> np.ndarray:
+    """``assignment.server_loads(instance)``, stash-served when valid."""
+    stash = stash_for(assignment, instance)
+    if stash is None:
+        return assignment.server_loads(instance)
+    return stash.server_loads

@@ -25,9 +25,12 @@ Two interchangeable backends implement both modes:
 * ``backend="loop"`` — the original per-item Python scan, kept as the
   executable specification of the placement semantics.
 * ``backend="vectorized"`` (default) — a batched placement engine.  The
-  static mode places items in rounds: one masked argmax over the
-  (servers × remaining-items) desirability under residual-capacity
-  feasibility picks every remaining item's best feasible server at once, and
+  static mode places items in rounds and caches every remaining item's best
+  feasible server between rounds: loads only ever grow, so a cached choice
+  stays the masked-argmax winner until the cached server itself can no
+  longer take the item's demand — each round therefore re-evaluates only
+  those *stale* items (one masked argmax over that subset) instead of
+  rebuilding the full (servers × remaining-items) feasibility matrix, and
   per-server prefix sums admit as many claimants per server as its residual
   capacity allows; the admitted items always form a prefix of the regret
   order, so the rounds replay the loop's placements exactly.  The dynamic
@@ -35,6 +38,14 @@ Two interchangeable backends implement both modes:
   and re-evaluates only the items whose cached best or second-best server
   just received load, instead of re-partitioning every remaining column
   after every placement.
+
+Both fallback modes accept an optional ``fallback_allowed`` candidate mask
+that makes the ``least_loaded`` emergency placement *delay-aware*: the
+residual-capacity argmax runs over the item's allowed servers (e.g. the
+sparse delay backend's per-zone candidate sets) instead of the whole fleet,
+falling back to the unrestricted argmax only when the item has no allowed
+server at all.  Without a mask the behaviour is exactly the classic
+delay-blind fallback.
 
 The two backends produce bit-identical assignments, loads and overflow flags
 for the same inputs (the equivalence is property-tested across fallback
@@ -51,6 +62,7 @@ import numpy as np
 __all__ = [
     "RegretResult",
     "max_regret_assign",
+    "max_regret_assign_candidates",
     "regret_order",
     "BACKENDS",
     "DEFAULT_BACKEND",
@@ -127,6 +139,25 @@ def _feasible_regrets(masked: np.ndarray) -> np.ndarray:
     return regrets
 
 
+def _fallback_server(
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    allowed_column: Optional[np.ndarray],
+) -> int:
+    """Least-loaded fallback server: argmax of residual capacity.
+
+    With a candidate column (the delay-aware fallback) the argmax runs over
+    the allowed servers only; an item with no allowed server at all falls
+    back to the unrestricted argmax — a placement must still be made.  Ties
+    resolve to the lowest server index in both forms (``np.argmax`` returns
+    the first maximum).
+    """
+    residual = capacities - loads
+    if allowed_column is not None and allowed_column.any():
+        return int(np.argmax(np.where(allowed_column, residual, -np.inf)))
+    return int(np.argmax(residual))
+
+
 # --------------------------------------------------------------------------- #
 # Loop backend — the executable specification of the placement semantics.
 # --------------------------------------------------------------------------- #
@@ -138,6 +169,7 @@ def _assign_loop(
     item_to_server: np.ndarray,
     fallback: str,
     recompute: bool,
+    fallback_allowed: Optional[np.ndarray] = None,
 ) -> bool:
     """Per-item scan; mutates ``loads`` / ``item_to_server``, returns overflow flag."""
     num_servers, num_items = desirability.shape
@@ -154,8 +186,8 @@ def _assign_loop(
                 loads[server] += demands[item]
                 return
         if fallback == "least_loaded":
-            residual = capacities - loads
-            server = int(np.argmax(residual))
+            allowed = None if fallback_allowed is None else fallback_allowed[:, item]
+            server = _fallback_server(capacities, loads, allowed)
             item_to_server[item] = server
             loads[server] += demands[item]
             capacity_exceeded = True
@@ -188,11 +220,11 @@ def _assign_static_vectorized(
     loads: np.ndarray,
     item_to_server: np.ndarray,
     fallback: str,
+    fallback_allowed: Optional[np.ndarray] = None,
 ) -> bool:
     """Round-based placement that replays the loop's regret order in prefix batches.
 
-    Every round computes each remaining item's best feasible server with one
-    masked argmax, then admits claimants per server in regret order while the
+    Every round admits claimants per server in regret order while the
     per-server prefix sum of their demands still fits the residual capacity.
     An item whose claim is rejected (its server filled up earlier in the same
     round) would fall to a different server in the loop and thereby disturb
@@ -201,59 +233,235 @@ def _assign_static_vectorized(
     order, which is what makes the rounds bit-identical to the sequential
     scan.  Loads are accumulated with ``np.add.at`` in placement order so
     even the floating-point addition order matches the loop.
+
+    The per-item choices are cached between rounds instead of being rebuilt
+    from a full (servers × remaining) feasibility matrix every round — the
+    superlinear term that used to dominate 100k-client solves.  Caching is
+    exact, not approximate: loads only ever grow, so the feasible-server set
+    of an item only shrinks, and the masked argmax (first maximum = stable
+    preference walk) of a shrinking set that still contains the previous
+    winner *is* the previous winner.  A cached choice therefore only needs
+    re-evaluation when its own server can no longer take the item's demand,
+    and "no feasible server" (``-1``) is sticky for the same reason.
+
+    Re-evaluation is a masked argmax over a *row-major* copy of the
+    desirability matrix: each stale batch gathers whole per-item rows
+    (contiguous in memory) instead of strided columns of the
+    (servers x items) input, which makes the re-evaluation memory-bandwidth
+    bound rather than cache-miss bound.  ``argmax(axis=1)`` returns the first
+    maximum — the lowest server index — exactly the column-argmax tie rule,
+    and the feasibility test keeps the loop backend's arithmetic form
+    (``loads + demand <= capacities + eps``), so placements stay
+    bit-identical.  (A sorted per-item preference walk was tried and
+    rejected: items re-evaluate only a handful of times before the solve
+    ends, which never amortises an O(servers log servers) column sort.)
+    """
+    num_servers, num_items = desirability.shape
+    if num_items == 0:
+        return False
+
+    # Row-major per-item view: stale re-evaluations gather contiguous rows.
+    des_items = np.ascontiguousarray(desirability.T)
+
+    # Two-tier re-evaluation table: each item's top-T servers by
+    # desirability, stored in ascending server-id order.  A masked argmax
+    # over the row (first maximum = lowest server id, the full scan's tie
+    # rule) finds the best feasible table entry, and it is the fleet-wide
+    # winner whenever its value strictly beats the set's minimum — every
+    # server outside the set is <= that.  Ties at the boundary and items
+    # whose whole set is full fall through to the full scan, so
+    # boundary-tied subsets chosen arbitrarily by argpartition can never
+    # change a placement.
+    _TOP_T = 64
+    top = None
+    if num_servers > 2 * _TOP_T:
+        item_rows = np.arange(num_items)[:, None]
+        part_idx = np.argpartition(des_items, num_servers - _TOP_T, axis=1)[:, -_TOP_T:]
+        part_idx = np.sort(part_idx, axis=1)
+        part_val = des_items[item_rows, part_idx]
+        top = (part_idx.astype(np.int32), part_val, part_val.min(axis=1))
+        # The set's two largest values are the two largest of the full
+        # matrix — the exact values regret_order would partition out of it —
+        # so the regret order falls out of a cheap in-set partition.
+        top_two = np.partition(part_val, _TOP_T - 2, axis=1)[:, -2:]
+        regrets = top_two[:, 1] - top_two[:, 0]
+        remaining = np.argsort(-regrets, kind="stable").astype(np.int64)
+    else:
+        remaining = regret_order(desirability)
+
+    def get_rows(cols: np.ndarray, servers: Optional[np.ndarray]) -> np.ndarray:
+        if servers is None:
+            return des_items[cols]
+        return des_items[np.ix_(cols, servers)]
+
+    return _static_rounds(
+        demands, capacities, loads, item_to_server, fallback, fallback_allowed,
+        remaining, num_servers, top, False, get_rows,
+    )
+
+
+def _static_rounds(
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    item_to_server: np.ndarray,
+    fallback: str,
+    fallback_allowed: Optional[np.ndarray],
+    remaining: np.ndarray,
+    num_servers: int,
+    top: Optional[tuple],
+    tier_complete: bool,
+    get_rows,
+) -> bool:
+    """The static placement rounds shared by the full-matrix and candidate paths.
+
+    ``top`` is the optional ``(top_idx, top_val, top_thresh)`` re-evaluation
+    table, rows in ascending server-id order; ``tier_complete`` asserts the
+    table lists *every* server whose desirability can reach the item's
+    threshold (the candidate-table entry point guarantees this), in which
+    case a feasible table hit is always the fleet-wide winner and the tie
+    fall-through is skipped.  ``get_rows(cols, servers)`` materialises
+    full-width desirability rows for the fall-through scan (``servers=None``
+    means all of them).
     """
     capacity_exceeded = False
-    remaining = regret_order(desirability)
+    num_items = demands.shape[0]
+    cap_eps = capacities + _CAP_EPS
+
+    if top is not None:
+        top_idx, top_val, top_thresh = top
+
+    # Cached best feasible server per item: -2 = not evaluated yet,
+    # -1 = no feasible server left (final — loads only grow).  ``cached``
+    # and ``d_rem`` mirror ``best[remaining]`` / ``demands[remaining]`` and
+    # are maintained incrementally — the rounds are many and short, so the
+    # engine slices them alongside ``remaining`` instead of re-gathering
+    # O(remaining) views every round.
+    best = np.full(num_items, -2, dtype=np.int64)
+    cached = best[remaining]
+    d_rem = demands[remaining]
 
     while remaining.size:
-        d_rem = demands[remaining]
-        feasible = loads[:, None] + d_rem[None, :] <= capacities[:, None] + _CAP_EPS
-        any_feasible = feasible.any(axis=0)
+        # Re-evaluate exactly the stale entries: never-evaluated items plus
+        # items whose cached server just became infeasible for them.
+        srv = np.where(cached >= 0, cached, 0)
+        stale = (cached == -2) | ((cached >= 0) & (loads[srv] + d_rem > cap_eps[srv]))
+        if stale.any():
+            cols0 = remaining[stale]
+            cols = cols0
+            d_stale = d_rem[stale]
+            if top is not None:
+                # Fast tier: masked argmax over the item's top-T table row
+                # (first maximum = lowest server id, the full scan's tie
+                # rule).  Valid when found strictly above the set minimum
+                # (always, for a complete table); the rest of the batch
+                # takes the full scan below.
+                tier_idx = top_idx[cols]
+                tier_ok = (
+                    loads[tier_idx] + d_stale[:, None] <= cap_eps[tier_idx]
+                )
+                masked = np.where(tier_ok, top_val[cols], -np.inf)
+                pos = masked.argmax(axis=1)
+                batch_rows = np.arange(cols.size)
+                vbest = masked[batch_rows, pos]
+                if tier_complete:
+                    # Every table value is >= the item's threshold and every
+                    # outside server is strictly below it: found == resolved.
+                    resolved = np.logical_not(np.isneginf(vbest))
+                else:
+                    resolved = vbest > top_thresh[cols]
+                if resolved.any():
+                    rcols = cols[resolved]
+                    best[rcols] = tier_idx[batch_rows[resolved], pos[resolved]]
+                    keep = ~resolved
+                    cols = cols[keep]
+                    d_stale = d_stale[keep]
+            if cols.size:
+                d_cols = d_stale
+                # Prune servers no claimant in the batch could use: the
+                # feasibility test is monotone in the demand operand, so a
+                # server that cannot take the batch's smallest demand is
+                # infeasible for every item in it.  Late rounds — where the
+                # stale re-evaluations concentrate — scan only the servers
+                # still open.
+                open_srv = np.flatnonzero(loads + d_cols.min() <= cap_eps)
+                if open_srv.size == 0:
+                    best[cols] = -1
+                elif open_srv.size == num_servers:
+                    feasible = loads[None, :] + d_cols[:, None] <= cap_eps[None, :]
+                    masked = np.where(feasible, get_rows(cols, None), -np.inf)
+                    choice = masked.argmax(axis=1)  # first max == lowest index
+                    none_left = np.isneginf(masked[np.arange(cols.size), choice])
+                    best[cols] = np.where(none_left, -1, choice)
+                else:
+                    sub_des = get_rows(cols, open_srv)
+                    sub_loads, sub_cap = loads[open_srv], cap_eps[open_srv]
+                    feasible = sub_loads[None, :] + d_cols[:, None] <= sub_cap[None, :]
+                    masked = np.where(feasible, sub_des, -np.inf)
+                    choice = masked.argmax(axis=1)  # first max == lowest (open) index
+                    none_left = np.isneginf(masked[np.arange(cols.size), choice])
+                    choice = open_srv[choice]
+                    best[cols] = np.where(none_left, -1, choice)
+            # Refresh only the re-evaluated entries of the mirror.
+            cached[stale] = best[cols0]
 
-        if fallback == "skip" and not any_feasible.all():
-            # Loads only ever grow, so an item that fits nowhere now can never
-            # be placed later; skipping consumes no capacity and changes no
-            # state, so the whole batch can be dropped at once.
-            remaining = remaining[any_feasible]
-            if remaining.size == 0:
-                break
-            d_rem = d_rem[any_feasible]
-            feasible = feasible[:, any_feasible]
-            any_feasible = np.ones(remaining.size, dtype=bool)
+        if fallback == "skip":
+            # An item that fits nowhere now can never be placed later;
+            # skipping consumes no capacity and changes no state, so the
+            # whole batch can be dropped at once.
+            placeable = cached >= 0
+            if not placeable.all():
+                remaining = remaining[placeable]
+                if remaining.size == 0:
+                    break
+                cached = cached[placeable]
+                d_rem = d_rem[placeable]
 
-        if any_feasible.all():
-            first_blocked = remaining.size
-        else:
+        blocked = cached < 0
+        if blocked.any():
             # least_loaded: the blocked item consumes capacity at its exact
             # position in the order, so claims beyond it must wait.
-            first_blocked = int(np.argmax(~any_feasible))
+            first_blocked = int(np.argmax(blocked))
+        else:
+            first_blocked = remaining.size
 
         n_admit = 0
-        choice = None
         if first_blocked:
-            claim_cols = remaining[:first_blocked]
-            masked = np.where(
-                feasible[:, :first_blocked], desirability[:, claim_cols], -np.inf
-            )
-            choice = masked.argmax(axis=0)  # first maximum == stable preference walk
-
             # Per-server conflict resolution: claimants of one server are
             # admitted in regret order while their running demand prefix sum
             # still fits; the first rejected claim (in regret order, across
-            # all servers) ends the round's admitted prefix.
-            claim_d = d_rem[:first_blocked]
-            by_server = np.argsort(choice, kind="stable")
-            srv_sorted = choice[by_server]
-            d_sorted = claim_d[by_server]
-            csum = np.cumsum(d_sorted)
-            group_first = np.r_[True, srv_sorted[1:] != srv_sorted[:-1]]
-            group_base = np.maximum.accumulate(np.where(group_first, csum - d_sorted, 0.0))
-            within_group = csum - group_base  # prefix sum including the claim itself
-            ok_sorted = loads[srv_sorted] + within_group <= capacities[srv_sorted] + _CAP_EPS
-            if ok_sorted.all():
-                n_admit = first_blocked
-            else:
-                n_admit = int(by_server[~ok_sorted].min())
+            # all servers) ends the round's admitted prefix.  The scan runs
+            # over a doubling window from the front: rejections land early
+            # (the admitted prefix is typically a small fraction of the
+            # remaining items), so most rounds sort a short window instead
+            # of every outstanding claim.  A window that admits fully is
+            # re-scanned at 8x from scratch — a claim's within-group prefix
+            # only involves earlier claims of its own server, so the window
+            # restriction never changes a value and the decisions stay
+            # bitwise those of the whole-prefix scan.
+            window = min(first_blocked, 128)
+            while True:
+                choice = cached[:window]
+                claim_d = d_rem[:window]
+                by_server = np.argsort(choice, kind="stable")
+                srv_sorted = choice[by_server]
+                d_sorted = claim_d[by_server]
+                csum = np.cumsum(d_sorted)
+                group_first = np.r_[True, srv_sorted[1:] != srv_sorted[:-1]]
+                group_base = np.maximum.accumulate(
+                    np.where(group_first, csum - d_sorted, 0.0)
+                )
+                within_group = csum - group_base  # prefix sum incl. the claim itself
+                ok_sorted = (
+                    loads[srv_sorted] + within_group <= capacities[srv_sorted] + _CAP_EPS
+                )
+                if not ok_sorted.all():
+                    n_admit = int(by_server[~ok_sorted].min())
+                    break
+                if window == first_blocked:
+                    n_admit = first_blocked
+                    break
+                window = min(first_blocked, window * 8)
 
             if n_admit:
                 admit_items = remaining[:n_admit]
@@ -268,14 +476,18 @@ def _assign_static_vectorized(
             # still true now): apply the least_loaded fallback at its exact
             # sequential position, then re-evaluate the rest next round.
             item = int(remaining[first_blocked])
-            residual = capacities - loads
-            server = int(np.argmax(residual))
+            allowed = None if fallback_allowed is None else fallback_allowed[:, item]
+            server = _fallback_server(capacities, loads, allowed)
             item_to_server[item] = server
             loads[server] += demands[item]
             capacity_exceeded = True
             remaining = remaining[first_blocked + 1:]
+            cached = cached[first_blocked + 1:]
+            d_rem = d_rem[first_blocked + 1:]
         else:
             remaining = remaining[n_admit:]
+            cached = cached[n_admit:]
+            d_rem = d_rem[n_admit:]
 
     return capacity_exceeded
 
@@ -311,6 +523,7 @@ def _assign_dynamic_incremental(
     loads: np.ndarray,
     item_to_server: np.ndarray,
     fallback: str,
+    fallback_allowed: Optional[np.ndarray] = None,
 ) -> bool:
     """Dynamic-regret placement with incrementally maintained top-two caches.
 
@@ -344,8 +557,8 @@ def _assign_dynamic_incremental(
         if np.isneginf(best_val[item]):
             # No feasible server left: fallback, exactly like the loop spec.
             if fallback == "least_loaded":
-                residual = capacities - loads
-                server = int(np.argmax(residual))
+                allowed = None if fallback_allowed is None else fallback_allowed[:, item]
+                server = _fallback_server(capacities, loads, allowed)
                 item_to_server[item] = server
                 loads[server] += demands[item]
                 capacity_exceeded = True
@@ -387,6 +600,7 @@ def max_regret_assign(
     fallback: str = "least_loaded",
     recompute: bool = False,
     backend: Optional[str] = None,
+    fallback_allowed: Optional[np.ndarray] = None,
 ) -> RegretResult:
     """Assign items to servers with the max-regret greedy heuristic.
 
@@ -394,6 +608,8 @@ def max_regret_assign(
     ----------
     desirability:
         ``(num_servers, num_items)`` desirability ``mu[i, j]`` (higher better).
+        Values must be finite: ``-inf`` is reserved as the backends' internal
+        infeasibility mask (the library's cost matrices are always finite).
     demands:
         ``(num_items,)`` resource demand added to the chosen server's load.
     capacities:
@@ -417,6 +633,15 @@ def max_regret_assign(
         ``"vectorized"`` (default) uses the batched placement engine;
         ``"loop"`` is the original per-item scan, kept as the executable
         specification.  Both produce bit-identical results.
+    fallback_allowed:
+        Optional ``(num_servers, num_items)`` boolean candidate mask for the
+        ``least_loaded`` fallback: the emergency placement's residual-capacity
+        argmax then runs over the item's allowed servers (delay-aware — e.g.
+        the sparse delay backend's per-zone candidate sets) instead of the
+        whole fleet.  An item with no allowed server falls back to the
+        unrestricted argmax.  Ignored by ``fallback="skip"``; ``None`` keeps
+        the classic delay-blind fallback.  Every backend honours the mask
+        identically.
 
     Returns
     -------
@@ -436,6 +661,13 @@ def max_regret_assign(
         raise ValueError("demands must be non-negative")
     if fallback not in ("least_loaded", "skip"):
         raise ValueError("fallback must be 'least_loaded' or 'skip'")
+    if fallback_allowed is not None:
+        fallback_allowed = np.asarray(fallback_allowed, dtype=bool)
+        if fallback_allowed.shape != (num_servers, num_items):
+            raise ValueError(
+                f"fallback_allowed must have shape ({num_servers}, {num_items}), "
+                f"got {fallback_allowed.shape}"
+            )
     backend = DEFAULT_BACKEND if backend is None else backend
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -450,17 +682,150 @@ def max_regret_assign(
 
     if backend == "loop":
         capacity_exceeded = _assign_loop(
-            desirability, demands, capacities, loads, item_to_server, fallback, recompute
+            desirability, demands, capacities, loads, item_to_server, fallback,
+            recompute, fallback_allowed,
         )
     elif recompute:
         capacity_exceeded = _assign_dynamic_incremental(
-            desirability, demands, capacities, loads, item_to_server, fallback
+            desirability, demands, capacities, loads, item_to_server, fallback,
+            fallback_allowed,
         )
     else:
         capacity_exceeded = _assign_static_vectorized(
-            desirability, demands, capacities, loads, item_to_server, fallback
+            desirability, demands, capacities, loads, item_to_server, fallback,
+            fallback_allowed,
         )
 
+    return RegretResult(
+        item_to_server=item_to_server,
+        loads=loads,
+        capacity_exceeded=capacity_exceeded,
+    )
+
+
+def max_regret_assign_candidates(
+    candidate_servers: np.ndarray,
+    candidate_desirability: np.ndarray,
+    num_servers: int,
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    row_provider,
+    initial_loads: Optional[np.ndarray] = None,
+    fallback: str = "least_loaded",
+    fallback_allowed: Optional[np.ndarray] = None,
+) -> RegretResult:
+    """Static max-regret placement driven by per-item candidate lists.
+
+    Bit-identical to :func:`max_regret_assign` (static mode, vectorized
+    backend) on the implied full ``(num_servers, num_items)`` desirability
+    matrix, but it never materialises that matrix: the caller supplies, per
+    item, the candidate servers and their desirabilities, and the engine's
+    re-evaluation table is built straight from them — no per-item
+    ``argpartition`` over the fleet and no O(items × servers) cost rows.
+    This is the sparse-delay-backend fast path of GreC: each needy client's
+    finite-cost servers are exactly its zone's K candidates.
+
+    The caller must guarantee the *dominance contract*: for every item, the
+    desirability of every server **not** listed is strictly below the item's
+    minimum listed desirability (for GreC, candidate costs strictly below the
+    sentinel-cost floor).  Under the contract a feasible candidate hit is
+    always the fleet-wide masked-argmax winner; only an item whose whole
+    candidate list is out of capacity falls back to a full-width scan over
+    rows fetched from ``row_provider`` — those placements (typically none)
+    land on non-candidate servers exactly as the full-matrix engine's would.
+
+    Parameters
+    ----------
+    candidate_servers:
+        ``(num_items, K)`` candidate server indices, strictly increasing per
+        row (which also guarantees distinctness); ``K >= 2`` so the regret
+        (best minus second-best desirability) is defined from the list alone.
+    candidate_desirability:
+        ``(num_items, K)`` desirability of each listed server, finite,
+        aligned with ``candidate_servers``.
+    num_servers:
+        Fleet size ``m`` (the virtual column count).
+    demands / capacities / initial_loads / fallback / fallback_allowed:
+        As in :func:`max_regret_assign`.
+    row_provider:
+        ``row_provider(items) -> (len(items), num_servers)`` full-width
+        desirability rows, consistent with ``candidate_desirability`` on the
+        listed entries; called only for fall-through items.
+
+    Returns
+    -------
+    RegretResult
+    """
+    cand_idx = np.asarray(candidate_servers, dtype=np.int64)
+    cand_val = np.asarray(candidate_desirability, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    num_servers = int(num_servers)
+    if cand_idx.ndim != 2 or cand_idx.shape[1] < 2:
+        raise ValueError("candidate_servers must be (num_items, K) with K >= 2")
+    num_items, top_k = cand_idx.shape
+    if cand_val.shape != (num_items, top_k):
+        raise ValueError("candidate_desirability must match candidate_servers in shape")
+    if num_servers < top_k:
+        raise ValueError("num_servers must be at least the candidate-list width")
+    if num_items and (cand_idx[:, 0].min() < 0 or cand_idx[:, -1].max() >= num_servers):
+        raise ValueError("candidate_servers contains invalid server indices")
+    if num_items and not (cand_idx[:, 1:] > cand_idx[:, :-1]).all():
+        raise ValueError("candidate_servers rows must be strictly increasing")
+    if demands.shape != (num_items,):
+        raise ValueError("demands must have one entry per item")
+    if capacities.shape != (num_servers,):
+        raise ValueError("capacities must have one entry per server")
+    if (demands < 0).any():
+        raise ValueError("demands must be non-negative")
+    if fallback not in ("least_loaded", "skip"):
+        raise ValueError("fallback must be 'least_loaded' or 'skip'")
+    if fallback_allowed is not None:
+        fallback_allowed = np.asarray(fallback_allowed, dtype=bool)
+        if fallback_allowed.shape != (num_servers, num_items):
+            raise ValueError(
+                f"fallback_allowed must have shape ({num_servers}, {num_items}), "
+                f"got {fallback_allowed.shape}"
+            )
+
+    loads = np.zeros(num_servers) if initial_loads is None else np.asarray(
+        initial_loads, dtype=np.float64
+    ).copy()
+    if loads.shape != (num_servers,):
+        raise ValueError("initial_loads must have one entry per server")
+
+    item_to_server = np.full(num_items, -1, dtype=np.int64)
+    if num_items == 0:
+        return RegretResult(
+            item_to_server=item_to_server, loads=loads, capacity_exceeded=False
+        )
+
+    # The rows already arrive in ascending server-id order — exactly the
+    # engine table's contract (masked argmax: first maximum = lowest server
+    # id, the full scan's tie rule), so no per-row value sort is needed.
+    top = (cand_idx.astype(np.int32), cand_val, cand_val.min(axis=1))
+    # Under the dominance contract the two largest listed desirabilities are
+    # the two largest overall, so the static regret order falls out of a
+    # cheap in-list partition.
+    top_two = np.partition(cand_val, top_k - 2, axis=1)[:, -2:]
+    regrets = top_two[:, 1] - top_two[:, 0]
+    remaining = np.argsort(-regrets, kind="stable").astype(np.int64)
+
+    def get_rows(cols: np.ndarray, servers: Optional[np.ndarray]) -> np.ndarray:
+        rows = np.asarray(row_provider(cols), dtype=np.float64)
+        if rows.shape != (cols.size, num_servers):
+            raise ValueError(
+                f"row_provider must return ({cols.size}, {num_servers}) rows, "
+                f"got {rows.shape}"
+            )
+        if servers is None:
+            return rows
+        return rows[:, servers]
+
+    capacity_exceeded = _static_rounds(
+        demands, capacities, loads, item_to_server, fallback, fallback_allowed,
+        remaining, num_servers, top, True, get_rows,
+    )
     return RegretResult(
         item_to_server=item_to_server,
         loads=loads,

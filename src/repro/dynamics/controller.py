@@ -48,6 +48,7 @@ from repro.dynamics.infrastructure import (
     apply_server_churn,
     generate_server_churn,
 )
+from repro.dynamics.measurement import measured_pqos, measured_utilization
 from repro.dynamics.migration import MigrationCharge, MigrationCostModel, charge_zone_moves
 from repro.dynamics.policies import (
     carry_over_assignment,
@@ -250,8 +251,8 @@ class RebalanceController:
             assignments={self.algorithm: assignment},
             measures={
                 self.algorithm: (
-                    assignment.pqos(instance),
-                    assignment.resource_utilization(instance),
+                    measured_pqos(assignment, instance),
+                    measured_utilization(assignment, instance),
                 )
             },
         )
@@ -297,6 +298,10 @@ class RebalanceController:
             if charge is None:
                 charge = self._charge(old_assignment, final, server_churn, new_instance)
             final = final.with_algorithm(self.algorithm)
+            # Stash-aware (bit-identical) read: assignments fresh from a GreC
+            # solve carry their measurement stash, so this is O(servers)
+            # instead of a full O(clients) load recompute.
+            final_util = measured_utilization(final, new_instance)
 
             step = RebalanceStep(
                 epoch=epoch,
@@ -310,7 +315,6 @@ class RebalanceController:
                 migration_cost=charge.cost,
                 freeze_ms=charge.freeze_ms,
             )
-            final_util = final.resource_utilization(new_instance)
             record = EpochRecord(
                 epoch=epoch,
                 algorithm=self.algorithm,
@@ -412,15 +416,15 @@ class RebalanceController:
         repaired: Optional[Assignment] = None
         if not periodic_due and pqos_stale >= policy.target_pqos - policy.repair_slack:
             repaired = incremental_reassign(stale, instance, solver_backend=self.solver_backend)
-            incr_pqos = repaired.pqos(instance)
+            incr_pqos = measured_pqos(repaired, instance)
             if incr_pqos >= policy.target_pqos - policy.accept_repair_if_within:
                 return "repair", repaired, reexec_pqos, reexec_util, incr_pqos, None
 
         rebalanced: Assignment = registry_solve(
             instance, self.algorithm, seed=seed, backend=self.solver_backend
         )
-        reexec_pqos = rebalanced.pqos(instance)
-        reexec_util = rebalanced.resource_utilization(instance)
+        reexec_pqos = measured_pqos(rebalanced, instance)
+        reexec_util = measured_utilization(rebalanced, instance)
         if math.isfinite(policy.max_migration_cost_per_epoch):
             charge = self._charge(old_assignment, rebalanced, server_churn, instance)
             if charge.cost > policy.max_migration_cost_per_epoch:
@@ -431,7 +435,7 @@ class RebalanceController:
                     repaired = incremental_reassign(
                         stale, instance, solver_backend=self.solver_backend
                     )
-                    incr_pqos = repaired.pqos(instance)
+                    incr_pqos = measured_pqos(repaired, instance)
                 if incr_pqos >= pqos_stale:
                     return "repair", repaired, reexec_pqos, reexec_util, incr_pqos, None
                 return "none", stale, reexec_pqos, reexec_util, incr_pqos, None

@@ -28,6 +28,7 @@ The engine is built for long runs:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -37,13 +38,21 @@ from repro.core.assignment import Assignment
 from repro.core.local_search import warm_start_refine
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
-from repro.dynamics.churn import ChurnSpec, generate_churn
+from repro.dynamics.churn import ChurnBatch, ChurnSpec, generate_churn
 from repro.dynamics.events import ChurnResult, apply_churn
 from repro.dynamics.infrastructure import (
     ServerChurnResult,
     ServerChurnSpec,
     apply_server_churn,
     generate_server_churn,
+)
+from repro.dynamics.measurement import (
+    MEASUREMENT_BACKENDS,
+    carried_qos_count,
+    ensure_measures,
+    measured_pqos,
+    measured_utilization,
+    stash_for,
 )
 from repro.dynamics.migration import MigrationCostModel, charge_zone_moves
 from repro.dynamics.policies import (
@@ -227,6 +236,15 @@ class ChurnSimulator:
         incremental solve (``"vectorized"`` / ``"loop"``; ``None`` uses the
         library default).  The backends are bit-identical, so this only
         affects epoch cost.
+    measurement_backend:
+        ``"full"`` (default) recomputes every measurement point from the
+        assignment arrays — the executable specification.  ``"incremental"``
+        serves points from the solvers' measurement stash
+        (:mod:`repro.core.measures`) and produces the carried-over "after"
+        point by delta-updating the previous epoch's within-bound count from
+        the churn batch alone (:mod:`repro.dynamics.measurement`), skipping
+        the O(clients) carried-assignment build on epochs whose action does
+        not need it.  Records are bit-identical between the two.
     """
 
     scenario: DVEScenario
@@ -240,10 +258,16 @@ class ChurnSimulator:
     policy_migration_budget: Optional[float] = None
     backend: str = "delta"
     solver_backend: Optional[str] = None
+    measurement_backend: str = "full"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        if self.measurement_backend not in MEASUREMENT_BACKENDS:
+            raise ValueError(
+                f"unknown measurement_backend {self.measurement_backend!r}; "
+                f"expected one of {MEASUREMENT_BACKENDS}"
+            )
 
     @property
     def _server_churn_active(self) -> bool:
@@ -261,10 +285,21 @@ class ChurnSimulator:
             )
             for i, name in enumerate(self.algorithms)
         }
-        measures = {
-            name: (a.pqos(instance), a.resource_utilization(instance))
-            for name, a in assignments.items()
-        }
+        if self.measurement_backend == "incremental":
+            # Seed the stash for solvers that do not produce one (baselines),
+            # so epoch 0 already takes the O(churn) delta path; the measured_*
+            # reads below are bit-identical to the full recompute.
+            for a in assignments.values():
+                ensure_measures(a, instance)
+            measures = {
+                name: (measured_pqos(a, instance), measured_utilization(a, instance))
+                for name, a in assignments.items()
+            }
+        else:
+            measures = {
+                name: (a.pqos(instance), a.resource_utilization(instance))
+                for name, a in assignments.items()
+            }
         return SimulationState(
             scenario=self.scenario,
             instance=instance,
@@ -370,15 +405,39 @@ class ChurnSimulator:
         epoch: int,
         name: str,
         old_assignment: Assignment,
+        batch: ChurnBatch,
         churn: ChurnResult,
         server_churn: Optional[ServerChurnResult],
         new_instance: CAPInstance,
         schedule: PolicySchedule,
         action: str,
         reassign_rng: SeedLike,
+        timings: Optional[Dict[str, float]] = None,
     ) -> tuple[EpochRecord, Assignment]:
-        """Measure one algorithm around one epoch and apply the policy action."""
+        """Measure one algorithm around one epoch and apply the policy action.
+
+        ``timings`` optionally accumulates wall-time into its ``"solve"`` and
+        ``"measure"`` keys (the repair/solve calls vs the measurement-point
+        computations), feeding the session's per-phase profile.
+        """
         instance = state.instance
+        incremental_meas = self.measurement_backend == "incremental"
+
+        def _timed(key, fn):
+            start = time.perf_counter()
+            result = fn()
+            if timings is not None:
+                timings[key] = timings.get(key, 0.0) + (time.perf_counter() - start)
+            return result
+
+        def _pqos(a):
+            return measured_pqos(a, new_instance) if incremental_meas else a.pqos(new_instance)
+
+        def _util(a):
+            if incremental_meas:
+                return measured_utilization(a, new_instance)
+            return a.resource_utilization(new_instance)
+
         # The "before" point is the adopted assignment of the previous epoch
         # evaluated on the unchanged instance — carried forward, not recomputed.
         before_pqos, before_util = state.measures[name]
@@ -393,22 +452,48 @@ class ChurnSimulator:
         else:
             base_assignment = old_assignment
 
-        carried = carry_over_assignment(
-            base_assignment,
-            churn,
-            new_instance,
-            out=state.contacts_buffer(new_instance.num_clients),
-        )
-        after_pqos = carried.pqos(new_instance)
+        def _carry():
+            return carry_over_assignment(
+                base_assignment,
+                churn,
+                new_instance,
+                out=state.contacts_buffer(new_instance.num_clients),
+            )
+
+        # The carried-over "after" point.  Incremental measurement delta-updates
+        # the previous epoch's within-bound count from the churn batch instead
+        # of building and re-reducing the carried assignment — valid whenever
+        # the previous epoch left a stash and the fleet did not re-index
+        # (capacity-only deltas keep every delay; a re-indexed fleet changes
+        # delays wholesale, so that epoch falls back to the full path).  The
+        # carried assignment itself is then only built when the warm-start
+        # action needs it as the refiner's starting point.
+        carried = None
+        stash = stash_for(old_assignment, instance) if incremental_meas else None
+        if stash is not None and (server_churn is None or server_churn.is_identity):
+            count = _timed(
+                "measure",
+                lambda: carried_qos_count(stash, base_assignment, batch, churn, new_instance),
+            )
+            k_new = new_instance.num_clients
+            after_pqos = count / k_new if k_new else 1.0
+            if action == "warm_start":
+                carried = _timed("measure", _carry)
+        else:
+            carried = _timed("measure", _carry)
+            after_pqos = _timed("measure", lambda: _pqos(carried))
 
         reexec_pqos = reexec_util = incr_pqos = _NAN
         charge = None  # the adopted assignment's bill, when already computed
         if action == "reexecute":
-            adopted = reassign(
-                new_instance, name, seed=reassign_rng, solver_backend=self.solver_backend
+            adopted = _timed(
+                "solve",
+                lambda: reassign(
+                    new_instance, name, seed=reassign_rng, solver_backend=self.solver_backend
+                ),
             )
-            reexec_pqos = adopted.pqos(new_instance)
-            reexec_util = adopted.resource_utilization(new_instance)
+            reexec_pqos = _timed("measure", lambda: _pqos(adopted))
+            reexec_util = _timed("measure", lambda: _util(adopted))
             adopted_pqos, adopted_util = reexec_pqos, reexec_util
             if math.isfinite(schedule.migration_budget):
                 # Migration-aware schedule: a re-execution whose zone moves
@@ -416,27 +501,37 @@ class ChurnSimulator:
                 # which keeps the zone map (only forced evacuations remain).
                 charge = self._charge_migration(old_assignment, adopted, server_churn, new_instance)
                 if charge.cost > schedule.migration_budget:
-                    adopted = incremental_reassign(
-                        base_assignment, new_instance, solver_backend=self.solver_backend
+                    adopted = _timed(
+                        "solve",
+                        lambda: incremental_reassign(
+                            base_assignment, new_instance, solver_backend=self.solver_backend
+                        ),
                     )
                     charge = None  # the adopted assignment changed; re-bill below
-                    incr_pqos = adopted.pqos(new_instance)
+                    incr_pqos = _timed("measure", lambda: _pqos(adopted))
                     adopted_pqos = incr_pqos
-                    adopted_util = adopted.resource_utilization(new_instance)
+                    adopted_util = _timed("measure", lambda: _util(adopted))
             if schedule.period == 0 and math.isnan(incr_pqos):
                 # The pure re-execute policy also reports the incremental
                 # repair as Table 3's extension column; scheduled policies
                 # skip it to keep the epoch cost proportional to the action.
-                incr_pqos = incremental_reassign(
-                    base_assignment, new_instance, solver_backend=self.solver_backend
-                ).pqos(new_instance)
+                repaired = _timed(
+                    "solve",
+                    lambda: incremental_reassign(
+                        base_assignment, new_instance, solver_backend=self.solver_backend
+                    ),
+                )
+                incr_pqos = _timed("measure", lambda: _pqos(repaired))
         elif action == "incremental":
-            adopted = incremental_reassign(
-                base_assignment, new_instance, solver_backend=self.solver_backend
+            adopted = _timed(
+                "solve",
+                lambda: incremental_reassign(
+                    base_assignment, new_instance, solver_backend=self.solver_backend
+                ),
             )
-            incr_pqos = adopted.pqos(new_instance)
+            incr_pqos = _timed("measure", lambda: _pqos(adopted))
             adopted_pqos = incr_pqos
-            adopted_util = adopted.resource_utilization(new_instance)
+            adopted_util = _timed("measure", lambda: _util(adopted))
         elif action == "warm_start":
             # Budget one move per client: heavy churn can push far more than
             # the refiner's default 200 clients over the bound, and sweep
@@ -448,20 +543,28 @@ class ChurnSimulator:
             # while on client-only epochs the zone scan's O(clients×servers)
             # setup would break the repair's cost-proportional-to-churn
             # property for little gain.
-            adopted = warm_start_refine(
-                new_instance,
-                carried,
-                mode="sweep",
-                consider_zone_moves=server_churn is not None,
-                max_iterations=max(200, new_instance.num_clients),
-            ).assignment
-            adopted_pqos = adopted.pqos(new_instance)
-            adopted_util = adopted.resource_utilization(new_instance)
+            adopted = _timed(
+                "solve",
+                lambda: warm_start_refine(
+                    new_instance,
+                    carried,
+                    mode="sweep",
+                    consider_zone_moves=server_churn is not None,
+                    max_iterations=max(200, new_instance.num_clients),
+                ).assignment,
+            )
+            adopted_pqos = _timed("measure", lambda: _pqos(adopted))
+            adopted_util = _timed("measure", lambda: _util(adopted))
         else:  # pragma: no cover - make_policy rejects unknown actions
             raise ValueError(f"unknown policy action {action!r}")
         # Re-label with the base algorithm name: repair suffixes like
         # " (carried over)+ws" would otherwise compound every epoch.
         adopted = adopted.with_algorithm(name)
+        if incremental_meas:
+            # Guarantee the adopted assignment carries a stash into the next
+            # epoch (solvers that do not stash — warm start, baselines — pay
+            # one full pass here so the next carried point stays O(churn)).
+            _timed("measure", lambda: ensure_measures(adopted, new_instance))
 
         if charge is None:
             charge = self._charge_migration(old_assignment, adopted, server_churn, new_instance)
@@ -556,6 +659,17 @@ class EpochSession:
         self.state = simulator.initial_state(rng)
         self.epoch_rngs = spawn_generators(rng, num_epochs)
         self.num_epochs = num_epochs
+        #: Cumulative per-phase wall time (seconds) across all epochs run so
+        #: far: ``churn_gen`` / ``advance`` / ``solve`` / ``measure``.  The
+        #: ``simulate --profile`` flag prints this breakdown.
+        self.phase_seconds: Dict[str, float] = {
+            "churn_gen": 0.0,
+            "advance": 0.0,
+            "solve": 0.0,
+            "measure": 0.0,
+        }
+        #: Same breakdown for the most recent epoch only.
+        self.last_phase_seconds: Dict[str, float] = dict.fromkeys(self.phase_seconds, 0.0)
 
     @property
     def done(self) -> bool:
@@ -607,6 +721,7 @@ class EpochSession:
         # The extra server-churn sub-stream is spawned only when the fleet
         # actually churns, so static-fleet runs replay the exact RNG layout
         # (and records) of the pre-elastic engine.
+        phase_start = time.perf_counter()
         if server_active:
             churn_rng, server_rng, *reassign_rngs = spawn_generators(
                 self.epoch_rngs[epoch], 2 + len(sim.algorithms)
@@ -629,7 +744,10 @@ class EpochSession:
             server_churn = apply_server_churn(state.scenario.servers, server_batch)
         elif capacity_delta is not None:
             server_churn = self._external_capacity_delta(capacity_delta)
+        timings: Dict[str, float] = {"churn_gen": time.perf_counter() - phase_start}
+        phase_start = time.perf_counter()
         new_scenario, new_instance = sim._advance_world(state, churn, server_churn)
+        timings["advance"] = time.perf_counter() - phase_start
         action = self.schedule.action_for_epoch(epoch)
 
         records: List[EpochRecord] = []
@@ -642,16 +760,23 @@ class EpochSession:
                 epoch,
                 name,
                 old_assignment,
+                batch,
                 churn,
                 server_churn,
                 new_instance,
                 self.schedule,
                 action,
                 reassign_rngs[i],
+                timings=timings,
             )
             next_assignments[name] = adopted
             next_measures[name] = (record.pqos_adopted, record.utilization_adopted)
             records.append(record)
+
+        self.last_phase_seconds = dict.fromkeys(self.phase_seconds, 0.0)
+        self.last_phase_seconds.update(timings)
+        for key, value in self.last_phase_seconds.items():
+            self.phase_seconds[key] += value
 
         state.scenario = new_scenario
         state.instance = new_instance

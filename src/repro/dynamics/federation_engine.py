@@ -36,6 +36,7 @@ from repro.core.arbitration import CapacityArbiter, ShardSignal, check_slices, m
 from repro.core.costs import initial_cost_matrix
 from repro.dynamics.churn import ChurnSpec
 from repro.dynamics.engine import ChurnSimulator, EpochRecord, EpochSession
+from repro.dynamics.measurement import measured_server_loads
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import PolicySchedule
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
@@ -95,9 +96,14 @@ class FederatedSimulator:
         Master seed.  Each shard gets an independent sub-stream; a 1-shard
         federation inherits the seed *unchanged*, which is what makes
         "federation = identity at N=1" an exact, bit-for-bit statement.
-    policy / policy_period / policy_migration_budget / backend / solver_backend:
+    policy / policy_period / policy_migration_budget / backend / solver_backend /
+    measurement_backend:
         Forwarded verbatim to every shard's
-        :class:`~repro.dynamics.engine.ChurnSimulator`.
+        :class:`~repro.dynamics.engine.ChurnSimulator` (with
+        ``measurement_backend="incremental"`` each shard's records are
+        composed from its running aggregates, and the whole-system records
+        are composed from the shard records — per-client arrays are never
+        re-reduced at the federation layer).
     """
 
     world: FederatedWorld
@@ -111,6 +117,7 @@ class FederatedSimulator:
     policy_migration_budget: Optional[float] = None
     backend: str = "delta"
     solver_backend: Optional[str] = None
+    measurement_backend: str = "full"
 
     # ------------------------------------------------------------------ #
     @property
@@ -150,6 +157,7 @@ class FederatedSimulator:
                 policy_migration_budget=self.policy_migration_budget,
                 backend=self.backend,
                 solver_backend=self.solver_backend,
+                measurement_backend=self.measurement_backend,
             )
             for i in range(self.num_shards)
         ]
@@ -171,7 +179,11 @@ class FederatedSimulator:
                     shard_id=shard_id,
                     total_demand=instance.total_demand(),
                     capacities=instance.server_capacities,
-                    server_loads=assignment.server_loads(instance),
+                    # Stash-aware (bit-identical): the adopted assignment's
+                    # loads were already scattered once during its solve, so
+                    # the arbitration signal reads them in O(servers) instead
+                    # of re-reducing the per-client arrays.
+                    server_loads=measured_server_loads(assignment, instance),
                     pqos=pqos,
                     capacity_exceeded=assignment.capacity_exceeded,
                     zone_demands=instance.zone_demands() if needs_zone_costs else None,

@@ -181,6 +181,9 @@ class CompactDelayMatrix:
     _allowed_cache: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    _sorted_candidates_cache: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -253,6 +256,19 @@ class CompactDelayMatrix:
             total += self.zone_anchors.nbytes
         return total
 
+    def candidate_mask(self) -> Optional[np.ndarray]:
+        """The ``(num_zones, m)`` candidate mask, or ``None`` when unrestricted.
+
+        Read-only and cached; the sparse backend's per-zone candidate sets as
+        a boolean matrix.  The solvers use it to keep *fallback* placements
+        delay-aware: a zone that cannot be placed within capacity should
+        still land on a server its clients can actually reach, not on a
+        sentinel-delay one.
+        """
+        if self.zone_candidates is None:
+            return None
+        return self._allowed()
+
     def _allowed(self) -> np.ndarray:
         """Cached ``(num_zones, m)`` candidate mask (sparse backend only)."""
         cached = self._allowed_cache
@@ -265,6 +281,39 @@ class CompactDelayMatrix:
             object.__setattr__(self, "_allowed_cache", cached)
         return cached
 
+    def _sorted_candidates(self) -> np.ndarray:
+        """Cached ``(num_zones, K)`` candidate sets, server ids ascending.
+
+        Candidate rows are sets — their stored order (near-first, then the
+        strided tail) carries no meaning — so a once-per-instance row sort
+        gives every consumer index-sorted lists without a per-query sort.
+        """
+        cached = self._sorted_candidates_cache
+        if cached is None:
+            cached = _read_only(np.sort(self.zone_candidates, axis=1))
+            object.__setattr__(self, "_sorted_candidates_cache", cached)
+        return cached
+
+    def candidate_rows(
+        self, clients: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Per-client candidate servers and exact delays to them, or ``None``.
+
+        ``clients`` is a 1-D index array.  Returns ``(servers, delays)`` of
+        shape ``(len(clients), K)`` — the
+        client zone's candidate set with server ids ascending per row, and
+        the true (non-sentinel) delays ``delay(c, s)`` to each.  The delay
+        values are bitwise the entries :meth:`rows` reports for those
+        servers.  ``None`` when the matrix has no candidate restriction
+        (coords backend): every server is then a genuine candidate.
+        """
+        if self.zone_candidates is None:
+            return None
+        clients = np.asarray(clients, dtype=np.int64)
+        servers = self._sorted_candidates()[self.client_zones[clients]]
+        delays = self.node_server[self.client_nodes[clients][:, None], servers]
+        return servers, delays
+
     # ------------------------------------------------------------------ #
     # Gathers — the dense fancy-indexing idioms the solvers rely on.
     # ------------------------------------------------------------------ #
@@ -273,8 +322,14 @@ class CompactDelayMatrix:
         clients = np.asarray(clients, dtype=np.int64)
         out = self.node_server[self.client_nodes[clients]]
         if self.zone_candidates is not None:
-            out = np.where(
-                self._allowed()[self.client_zones[clients]], out, self.fill_value
+            if out.base is not None or not out.flags.writeable:
+                out = out.copy()
+            # In-place masked fill: one pass over the gathered rows instead
+            # of np.where's extra full-size output allocation.
+            np.copyto(
+                out,
+                self.fill_value,
+                where=np.logical_not(self._allowed()[self.client_zones[clients]]),
             )
         elif out.base is not None or not out.flags.writeable:
             out = out.copy()
@@ -389,6 +444,7 @@ class CompactDelayMatrix:
             zone_anchors=self.zone_anchors,
             fill_value=self.fill_value,
             _allowed_cache=self._allowed_cache,
+            _sorted_candidates_cache=self._sorted_candidates_cache,
         )
 
     def with_servers(self, server_nodes: np.ndarray) -> "CompactDelayMatrix":
