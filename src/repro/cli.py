@@ -29,7 +29,9 @@ from repro.core.arbitration import ARBITER_NAMES, make_arbiter
 from repro.core.regret import BACKENDS as SOLVER_BACKENDS, DEFAULT_BACKEND
 from repro.core.registry import solve as registry_solve, solver_names
 from repro.dynamics.churn import ChurnSpec
+from repro.dynamics.degradation import AdmissionPolicy
 from repro.dynamics.engine import BACKENDS, ChurnSimulator, EpochRecord
+from repro.dynamics.scenarios import SCENARIO_LIBRARY, build_timeline
 from repro.dynamics.federation_engine import AGGREGATE_SHARD_ID, FederatedSimulator
 from repro.dynamics.measurement import MEASUREMENT_BACKENDS
 from repro.dynamics.infrastructure import ServerChurnSpec
@@ -156,6 +158,32 @@ def _add_measurement_backend_flag(parser: argparse.ArgumentParser) -> None:
             "per-epoch QoS/load accounting (default: full; 'incremental' "
             "delta-updates the previous epoch's measurements from the churn "
             "batch — records are bit-identical, epochs cost O(churn) to measure)"
+        ),
+    )
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared incident-scenario options to a sub-command parser."""
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "incident scenario: a library name "
+            f"({', '.join(sorted(SCENARIO_LIBRARY))}) or a 'kind:key=value,...' "
+            "spec such as 'outage:zone=0,radius=4,start=3,duration=3'; repeat "
+            "the flag to compose disturbances (composition is order-independent)"
+        ),
+    )
+    parser.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help=(
+            "epochs a shed client waits in the degraded pool before abandoning "
+            "(default: wait forever; only meaningful with --scenario)"
         ),
     )
 
@@ -309,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_backend_flag(sim)
     _add_delay_backend_flag(sim)
     _add_measurement_backend_flag(sim)
+    _add_scenario_flags(sim)
     sim.add_argument(
         "--profile",
         action="store_true",
@@ -414,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_backend_flag(fedp)
     _add_delay_backend_flag(fedp)
     _add_measurement_backend_flag(fedp)
+    _add_scenario_flags(fedp)
 
     return parser
 
@@ -467,6 +497,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario(args: argparse.Namespace):
+    """Build ``(timeline, admission_policy)`` from ``--scenario`` / ``--patience``.
+
+    Returns ``(None, None)`` when no scenario was requested, so classic
+    invocations construct simulators exactly as before.
+    """
+    if not getattr(args, "scenario", None):
+        return None, None
+    timeline = build_timeline(args.scenario)
+    return timeline, AdmissionPolicy(patience_epochs=args.patience)
+
+
 def _execute_simulate_run(task) -> List[EpochRecord]:
     """One replication of the simulate command (worker-side; must be picklable)."""
     import repro.baselines  # noqa: F401 — repopulate the registry under spawn
@@ -484,6 +526,8 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
         backend,
         solver_backend,
         measurement_backend,
+        timeline,
+        admission,
         rng,
     ) = task
     scenario_rng, sim_rng = spawn_generators(rng, 2)
@@ -501,6 +545,8 @@ def _execute_simulate_run(task) -> List[EpochRecord]:
         backend=backend,
         solver_backend=solver_backend,
         measurement_backend=measurement_backend,
+        scenario_timeline=timeline,
+        admission_policy=admission,
     )
     return simulator.run(num_epochs)
 
@@ -518,6 +564,7 @@ def _simulate_records(
     """
     churn = ChurnSpec(num_joins=args.joins, num_leaves=args.leaves, num_moves=args.moves)
     migration_cost = MigrationCostModel(cost_per_client=args.migration_cost)
+    timeline, admission = _resolve_scenario(args)
     rng = as_generator(args.seed)
     run_rngs = spawn_generators(rng, args.runs)
     if args.runs == 1:
@@ -536,6 +583,8 @@ def _simulate_records(
             backend=args.backend,
             solver_backend=args.solver_backend,
             measurement_backend=args.measurement_backend,
+            scenario_timeline=timeline,
+            admission_policy=admission,
         )
         session = simulator.session(args.epochs)
         while not session.done:
@@ -558,6 +607,8 @@ def _simulate_records(
             args.backend,
             args.solver_backend,
             args.measurement_backend,
+            timeline,
+            admission,
             run_rngs[i],
         )
         for i in range(args.runs)
@@ -578,8 +629,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     try:
         schedule = make_policy(args.policy, period=args.period or None)
+        _resolve_scenario(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario_active = bool(args.scenario)
+    if scenario_active and args.server_churn is not None:
+        print(
+            "error: --scenario drives the fleet itself and cannot be combined "
+            "with --server-churn",
+            file=sys.stderr,
+        )
         return 2
     config = apply_delay_backend(
         config_from_label(args.config, correlation=args.correlation), args.delay_backend
@@ -592,29 +652,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         fleet = "fixed"
-    print(
-        format_kv(
-            {
-                "config": config.label,
-                "algorithms": ", ".join(args.algorithms),
-                "epochs": args.epochs,
-                "policy": schedule.name,
-                "backend": args.backend,
-                "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
-                "delay backend": config.delay_backend,
-                "measurement backend": args.measurement_backend,
-                "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
-                "server churn per epoch": fleet,
-                "migration cost / client": args.migration_cost,
-                "migration budget": (
-                    "unlimited" if args.migration_budget is None else args.migration_budget
-                ),
-                "runs": args.runs,
-                "seed": args.seed,
-            },
-            title="Longitudinal simulation",
+    summary = {
+        "config": config.label,
+        "algorithms": ", ".join(args.algorithms),
+        "epochs": args.epochs,
+        "policy": schedule.name,
+        "backend": args.backend,
+        "solver backend": args.solver_backend or f"{DEFAULT_BACKEND} (default)",
+        "delay backend": config.delay_backend,
+        "measurement backend": args.measurement_backend,
+        "churn per epoch": f"{args.joins} joins, {args.leaves} leaves, {args.moves} moves",
+        "server churn per epoch": fleet,
+        "migration cost / client": args.migration_cost,
+        "migration budget": (
+            "unlimited" if args.migration_budget is None else args.migration_budget
+        ),
+        "runs": args.runs,
+        "seed": args.seed,
+    }
+    if scenario_active:
+        summary["scenario"] = "; ".join(args.scenario)
+        summary["degraded-pool patience"] = (
+            "wait forever" if args.patience is None else f"{args.patience} epochs"
         )
-    )
+    print(format_kv(summary, title="Longitudinal simulation"))
     print()
 
     stats = GroupedRunningStats()
@@ -625,13 +686,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         nonlocal num_records, final_clients
         for run_index, record in pairs:
             if writer is not None:
-                writer.append([run_index, *record.row()])
+                row = record.scenario_row() if scenario_active else record.row()
+                writer.append([run_index, *row])
             stats.add((record.algorithm, "after"), record.pqos_after)
             stats.add((record.algorithm, "adopted"), record.pqos_adopted)
             stats.add((record.algorithm, "migrated"), float(record.clients_migrated))
             stats.add((record.algorithm, "migration_cost"), record.migration_cost)
+            if scenario_active:
+                stats.add((record.algorithm, "degraded"), float(record.clients_degraded))
             if record.epoch == args.epochs - 1:
                 stats.add((record.algorithm, "final"), record.pqos_adopted)
+                if scenario_active:
+                    stats.add(
+                        (record.algorithm, "final_degraded"), float(record.clients_degraded)
+                    )
                 final_clients = record.num_clients_after
             num_records += 1
 
@@ -643,14 +711,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print("note: --profile only applies to single-run invocations; ignoring\n")
     pairs = _simulate_records(args, config, profile_sink=profile_sink)
     writer = None
+    csv_fields = EpochRecord.SCENARIO_FIELDS if scenario_active else EpochRecord.FIELDS
     if args.csv:
-        with CsvAppender(args.csv, ["run", *EpochRecord.FIELDS]) as writer:
+        with CsvAppender(args.csv, ["run", *csv_fields]) as writer:
             consume(pairs)
     else:
         consume(pairs)
 
-    rows = [
-        [
+    headers = [
+        "algorithm",
+        "stale pQoS (mean)",
+        "adopted pQoS (mean)",
+        "adopted pQoS (final)",
+        "clients migrated / epoch",
+        "migration cost / epoch",
+    ]
+    if scenario_active:
+        headers.extend(["degraded / epoch", "degraded (final)"])
+    rows = []
+    for name in args.algorithms:
+        row = [
             name,
             stats.stat((name, "after")).mean,
             stats.stat((name, "adopted")).mean,
@@ -658,18 +738,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             stats.stat((name, "migrated")).mean,
             stats.stat((name, "migration_cost")).mean,
         ]
-        for name in args.algorithms
-    ]
+        if scenario_active:
+            row.append(stats.stat((name, "degraded")).mean)
+            row.append(stats.stat((name, "final_degraded")).mean)
+        rows.append(row)
     print(
         format_table(
-            [
-                "algorithm",
-                "stale pQoS (mean)",
-                "adopted pQoS (mean)",
-                "adopted pQoS (final)",
-                "clients migrated / epoch",
-                "migration cost / epoch",
-            ],
+            headers,
             rows,
             title=(
                 f"Summary over {args.epochs} epochs × {args.runs} run(s); "
@@ -713,6 +788,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _build_federated_simulator(args: argparse.Namespace, config, rng) -> FederatedSimulator:
     """Materialise one federation replication from the CLI arguments."""
+    timeline, admission = _resolve_scenario(args)
     fed_rng, sim_rng = spawn_generators(rng, 2)
     weights = (
         list(args.shard_weights)
@@ -747,6 +823,8 @@ def _build_federated_simulator(args: argparse.Namespace, config, rng) -> Federat
         backend=args.backend,
         solver_backend=args.solver_backend,
         measurement_backend=args.measurement_backend,
+        scenario_timeline=timeline,
+        admission_policy=admission,
     )
 
 
@@ -793,9 +871,11 @@ def _cmd_federate(args: argparse.Namespace) -> int:
         return 2
     try:
         schedule = make_policy(args.policy, period=args.period or None)
+        _resolve_scenario(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    scenario_active = bool(args.scenario)
     config = apply_delay_backend(
         config_from_label(args.config, correlation=args.correlation), args.delay_backend
     )
@@ -804,6 +884,7 @@ def _cmd_federate(args: argparse.Namespace) -> int:
         format_kv(
             {
                 "config": config.label,
+                **({"scenario": "; ".join(args.scenario)} if scenario_active else {}),
                 "shards": args.shards,
                 "shard weights": (
                     "descending"
@@ -837,7 +918,10 @@ def _cmd_federate(args: argparse.Namespace) -> int:
         nonlocal num_records
         for run_index, record in pairs:
             if writer is not None:
-                writer.append([run_index, *record.federated_row()])
+                row = record.federated_row()
+                if scenario_active:
+                    row = [record.shard_id, *record.scenario_row()]
+                writer.append([run_index, *row])
             key = (record.algorithm, record.shard_id)
             stats.add((*key, "after"), record.pqos_after)
             stats.add((*key, "adopted"), record.pqos_adopted)
@@ -850,8 +934,13 @@ def _cmd_federate(args: argparse.Namespace) -> int:
 
     pairs = _federate_records(args, config)
     writer = None
+    fed_fields = (
+        ("shard_id", *EpochRecord.SCENARIO_FIELDS)
+        if scenario_active
+        else EpochRecord.FEDERATED_FIELDS
+    )
     if args.csv:
-        with CsvAppender(args.csv, ["run", *EpochRecord.FEDERATED_FIELDS]) as writer:
+        with CsvAppender(args.csv, ["run", *fed_fields]) as writer:
             consume(pairs)
     else:
         consume(pairs)

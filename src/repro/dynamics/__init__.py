@@ -4,8 +4,12 @@ Reproduces the paper's Table 3 experiment (join / leave / move churn with
 re-execution of the assignment algorithms) and extends it with repair
 policies, a multi-epoch churn simulator, elastic infrastructure churn
 (servers joining / leaving, capacity drift), a zone migration cost model,
-a migration-aware rebalance controller and a federated multi-shard engine
-with cross-shard capacity arbitration.
+a migration-aware rebalance controller, a federated multi-shard engine
+with cross-shard capacity arbitration, and an incident scenario library
+(outages, flash crowds, diurnal waves, maintenance calendars, link
+degradation) with graceful degradation — admission control that sheds
+excess clients to a FIFO degraded pool instead of crashing on an
+infeasible world.
 """
 
 from repro.dynamics.churn import ChurnSpec, generate_churn
@@ -47,6 +51,26 @@ from repro.dynamics.policies import (
     remap_assignment_servers,
 )
 from repro.dynamics.events import ChurnBatch, ChurnResult, apply_churn
+from repro.dynamics.degradation import (
+    AdmissionPolicy,
+    AdmissionStats,
+    DegradedPool,
+    admission_control,
+    pick_evacuation_host,
+)
+from repro.dynamics.scenarios import (
+    SCENARIO_LIBRARY,
+    DiurnalEvent,
+    FlashCrowdEvent,
+    LinkDegradationEvent,
+    MaintenanceEvent,
+    OutageEvent,
+    ScenarioEvent,
+    ScenarioRuntime,
+    ScenarioTimeline,
+    build_timeline,
+    parse_scenario,
+)
 
 __all__ = [
     "ChurnSpec",
@@ -82,4 +106,20 @@ __all__ = [
     "RebalancePolicy",
     "RebalanceStep",
     "RebalanceTrace",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "DegradedPool",
+    "admission_control",
+    "pick_evacuation_host",
+    "SCENARIO_LIBRARY",
+    "ScenarioEvent",
+    "OutageEvent",
+    "FlashCrowdEvent",
+    "DiurnalEvent",
+    "MaintenanceEvent",
+    "LinkDegradationEvent",
+    "ScenarioTimeline",
+    "ScenarioRuntime",
+    "parse_scenario",
+    "build_timeline",
 ]

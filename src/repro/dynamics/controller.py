@@ -55,6 +55,7 @@ from repro.dynamics.policies import (
     incremental_reassign,
     remap_assignment_servers,
 )
+from repro.dynamics.scenarios import ScenarioRuntime
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import DVEScenario
 
@@ -192,6 +193,15 @@ class RebalanceController:
         executable spec; traces are bit-identical).
     solver_backend:
         Max-regret placement backend forwarded to every solve.
+    scenario_timeline:
+        Optional incident timeline (:mod:`repro.dynamics.scenarios`): the
+        controller then reacts to outages, flash crowds and delay overlays
+        instead of stationary churn, with every epoch's batch passing through
+        admission control so infeasible worlds shed to the degraded pool
+        rather than raising.  The scenario stream is spawned only when a
+        timeline is active, so classic traces stay bit-identical.
+    admission_policy:
+        Shedding/re-admission thresholds for the scenario layer.
     """
 
     scenario: DVEScenario
@@ -203,6 +213,8 @@ class RebalanceController:
     migration_cost: MigrationCostModel = field(default_factory=MigrationCostModel)
     backend: str = "delta"
     solver_backend: Optional[str] = None
+    scenario_timeline: object = None
+    admission_policy: object = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -219,6 +231,8 @@ class RebalanceController:
             migration_cost=self.migration_cost,
             backend=self.backend,
             solver_backend=self.solver_backend,
+            scenario_timeline=self.scenario_timeline,
+            admission_policy=self.admission_policy,
         )
 
     def stream(self, num_epochs: int = 5) -> Iterator[Tuple[RebalanceStep, EpochRecord]]:
@@ -240,6 +254,17 @@ class RebalanceController:
         server_active = engine._server_churn_active
         rng = as_generator(self.seed)
         solve_rng, *epoch_rngs = spawn_generators(rng, num_epochs + 1)
+        # The scenario stream is spawned after the classic streams and only
+        # when a timeline is active, keeping scenario-free traces bit-exact.
+        runtime: Optional[ScenarioRuntime] = None
+        if engine._scenario_active:
+            runtime = ScenarioRuntime(
+                engine.scenario_timeline,
+                self.scenario,
+                num_epochs,
+                spawn_generators(rng, 1)[0],
+                admission=engine.admission_policy,
+            )
 
         instance = CAPInstance.from_scenario(self.scenario)
         assignment: Assignment = registry_solve(
@@ -258,12 +283,21 @@ class RebalanceController:
         )
 
         for epoch in range(num_epochs):
+            plan = None
+            scenario_stats = None
+            if runtime is not None:
+                plan = runtime.plan_epoch(epoch, self.churn_spec)
             if server_active:
                 churn_rng, server_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 3)
             else:
                 server_rng = None
                 churn_rng, reassign_rng = spawn_generators(epoch_rngs[epoch], 2)
-            batch = generate_churn(state.scenario, self.churn_spec, seed=churn_rng)
+            churn_spec = self.churn_spec if plan is None else plan.churn_spec
+            batch = generate_churn(state.scenario, churn_spec, seed=churn_rng)
+            if runtime is not None:
+                batch, scenario_stats = runtime.prepare_batch(
+                    plan, batch, state.scenario.population
+                )
             churn = apply_churn(state.scenario.population, batch)
             server_churn: Optional[ServerChurnResult] = None
             if server_active:
@@ -274,7 +308,12 @@ class RebalanceController:
                     seed=server_rng,
                 )
                 server_churn = apply_server_churn(state.scenario.servers, server_batch)
-            new_scenario, new_instance = engine._advance_world(state, churn, server_churn)
+            elif plan is not None:
+                server_churn = plan.server_churn
+            new_scenario, clean_instance = engine._advance_world(state, churn, server_churn)
+            new_instance = clean_instance
+            if runtime is not None:
+                new_instance = runtime.overlay_instance(plan, new_scenario, clean_instance)
 
             old_assignment = state.assignments[self.algorithm]
             before_pqos, before_util = state.measures[self.algorithm]
@@ -333,11 +372,18 @@ class RebalanceController:
                 zones_migrated=charge.zones_migrated,
                 clients_migrated=charge.clients_migrated,
                 migration_cost=charge.cost,
+                clients_degraded=0 if scenario_stats is None else scenario_stats.clients_degraded,
+                capacity_deficit=0.0
+                if scenario_stats is None
+                else scenario_stats.capacity_deficit,
             )
             yield step, record
 
+            # The *clean* instance advances the delta pipeline; the overlaid
+            # instance (when a delay overlay was active) was only this
+            # epoch's measurement/repair view.
             state.scenario = new_scenario
-            state.instance = new_instance
+            state.instance = clean_instance
             state.assignments[self.algorithm] = final
             state.measures[self.algorithm] = (pqos_final, final_util)
             state.epoch = epoch + 1

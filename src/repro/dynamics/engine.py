@@ -29,8 +29,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from repro.core.local_search import warm_start_refine
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.dynamics.churn import ChurnBatch, ChurnSpec, generate_churn
+from repro.dynamics.degradation import AdmissionPolicy, AdmissionStats
 from repro.dynamics.events import ChurnResult, apply_churn
 from repro.dynamics.infrastructure import (
     ServerChurnResult,
@@ -63,6 +64,7 @@ from repro.dynamics.policies import (
     reassign,
     remap_assignment_servers,
 )
+from repro.dynamics.scenarios import ScenarioRuntime, ScenarioTimeline, build_timeline
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.scenario import DVEScenario
 from repro.world.servers import ServerSet
@@ -97,6 +99,13 @@ class EpochRecord:
     default ``-1`` means "whole system / unsharded" and is deliberately NOT
     part of :data:`FIELDS`, so the classic ``simulate --csv`` stream stays
     byte-identical — federated consumers use :data:`FEDERATED_FIELDS`.
+
+    ``clients_degraded`` / ``capacity_deficit`` report the scenario layer's
+    graceful degradation (:mod:`repro.dynamics.degradation`): how many clients
+    sit in the degraded pool after this epoch's admission control, and the
+    pre-shedding demand overshoot in bits/s.  Like ``shard_id`` they are
+    additive — absent from :data:`FIELDS` so classic CSV headers stay frozen;
+    scenario consumers use :data:`SCENARIO_FIELDS`.
     """
 
     epoch: int
@@ -117,6 +126,8 @@ class EpochRecord:
     clients_migrated: int = 0
     migration_cost: float = 0.0
     shard_id: int = -1
+    clients_degraded: int = 0
+    capacity_deficit: float = 0.0
 
     #: CSV / JSON column order used by the ``simulate`` CLI and benchmarks.
     #: Frozen for backward compatibility: ``shard_id`` is intentionally absent
@@ -146,6 +157,11 @@ class EpochRecord:
     #: leading shard column).
     FEDERATED_FIELDS = ("shard_id", *FIELDS)
 
+    #: Column order for scenario streams: the classic measurement columns plus
+    #: the trailing degradation columns (so a scenario CSV is the classic CSV
+    #: with two extra columns on the right).
+    SCENARIO_FIELDS = (*FIELDS, "clients_degraded", "capacity_deficit")
+
     def row(self) -> list:
         """The record as a flat list in :data:`FIELDS` order."""
         return [getattr(self, name) for name in self.FIELDS]
@@ -153,6 +169,10 @@ class EpochRecord:
     def federated_row(self) -> list:
         """The record as a flat list in :data:`FEDERATED_FIELDS` order."""
         return [getattr(self, name) for name in self.FEDERATED_FIELDS]
+
+    def scenario_row(self) -> list:
+        """The record as a flat list in :data:`SCENARIO_FIELDS` order."""
+        return [getattr(self, name) for name in self.SCENARIO_FIELDS]
 
 
 @dataclass
@@ -245,6 +265,21 @@ class ChurnSimulator:
         the churn batch alone (:mod:`repro.dynamics.measurement`), skipping
         the O(clients) carried-assignment build on epochs whose action does
         not need it.  Records are bit-identical between the two.
+    scenario_timeline:
+        Optional incident timeline (:mod:`repro.dynamics.scenarios`) — a
+        :class:`~repro.dynamics.scenarios.ScenarioTimeline`, a spec string /
+        library name, or a sequence of them (normalised via
+        :func:`~repro.dynamics.scenarios.build_timeline`).  When set, each
+        epoch's churn, fleet capacities and delays follow the timeline, and
+        every churn batch passes through admission control so infeasible
+        epochs shed clients to a degraded pool instead of raising.  The
+        scenario RNG stream is only spawned when a timeline is active, so
+        classic runs stay byte-identical.  Mutually exclusive with an active
+        ``server_churn_spec`` (the timeline owns the fleet's capacity story).
+    admission_policy:
+        Shedding/re-admission thresholds for the scenario layer
+        (:class:`~repro.dynamics.degradation.AdmissionPolicy`); ``None`` uses
+        the defaults.  Ignored without a timeline.
     """
 
     scenario: DVEScenario
@@ -259,6 +294,8 @@ class ChurnSimulator:
     backend: str = "delta"
     solver_backend: Optional[str] = None
     measurement_backend: str = "full"
+    scenario_timeline: Union[None, str, Iterable, ScenarioTimeline] = None
+    admission_policy: Optional[AdmissionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -268,11 +305,25 @@ class ChurnSimulator:
                 f"unknown measurement_backend {self.measurement_backend!r}; "
                 f"expected one of {MEASUREMENT_BACKENDS}"
             )
+        if self.scenario_timeline is not None and not isinstance(
+            self.scenario_timeline, ScenarioTimeline
+        ):
+            self.scenario_timeline = build_timeline(self.scenario_timeline)
+        if self._scenario_active and self._server_churn_active:
+            raise ValueError(
+                "scenario_timeline cannot be combined with an active "
+                "server_churn_spec: the timeline owns the fleet's capacity story"
+            )
 
     @property
     def _server_churn_active(self) -> bool:
         """True when the epoch loop must generate infrastructure churn."""
         return self.server_churn_spec is not None and not self.server_churn_spec.is_static
+
+    @property
+    def _scenario_active(self) -> bool:
+        """True when an incident timeline disturbs the epochs."""
+        return self.scenario_timeline is not None and not self.scenario_timeline.is_empty
 
     # ------------------------------------------------------------------ #
     def initial_state(self, seed: SeedLike) -> SimulationState:
@@ -413,6 +464,7 @@ class ChurnSimulator:
         action: str,
         reassign_rng: SeedLike,
         timings: Optional[Dict[str, float]] = None,
+        overlay_active: bool = False,
     ) -> tuple[EpochRecord, Assignment]:
         """Measure one algorithm around one epoch and apply the policy action.
 
@@ -468,8 +520,14 @@ class ChurnSimulator:
         # delays wholesale, so that epoch falls back to the full path).  The
         # carried assignment itself is then only built when the warm-start
         # action needs it as the refiner's starting point.
+        # A delay overlay (scenario link degradation) changes the *survivors'*
+        # delays too, so the O(churn) carried count would be wrong — overlay
+        # epochs always take the full carried path, keeping full/incremental
+        # measurement bit-identical through incidents.
         carried = None
         stash = stash_for(old_assignment, instance) if incremental_meas else None
+        if stash is not None and overlay_active:
+            stash = None
         if stash is not None and (server_churn is None or server_churn.is_identity):
             count = _timed(
                 "measure",
@@ -607,14 +665,18 @@ class ChurnSimulator:
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def records_equal(a: EpochRecord, b: EpochRecord) -> bool:
+    def records_equal(
+        a: EpochRecord, b: EpochRecord, fields: Optional[tuple] = None
+    ) -> bool:
         """Field-wise equality that treats NaN == NaN (for equivalence tests).
 
-        Compares the measurement columns (:data:`EpochRecord.FIELDS`) only;
-        ``shard_id`` is an addressing label, not a measurement, so a federated
-        shard's record can equal the stand-alone simulator's record.
+        Compares the measurement columns (:data:`EpochRecord.FIELDS`) by
+        default; ``shard_id`` is an addressing label, not a measurement, so a
+        federated shard's record can equal the stand-alone simulator's record.
+        Pass ``fields=EpochRecord.SCENARIO_FIELDS`` to also compare the
+        degradation columns.
         """
-        for name in EpochRecord.FIELDS:
+        for name in fields or EpochRecord.FIELDS:
             va, vb = getattr(a, name), getattr(b, name)
             if isinstance(va, float) and isinstance(vb, float):
                 if math.isnan(va) and math.isnan(vb):
@@ -659,6 +721,18 @@ class EpochSession:
         self.state = simulator.initial_state(rng)
         self.epoch_rngs = spawn_generators(rng, num_epochs)
         self.num_epochs = num_epochs
+        #: Scenario timeline executor; spawned *after* the epoch streams and
+        #: only when a timeline is active, so classic runs replay the exact
+        #: RNG layout (and records) of the scenario-free engine.
+        self.scenario_runtime: Optional[ScenarioRuntime] = None
+        if simulator._scenario_active:
+            self.scenario_runtime = ScenarioRuntime(
+                simulator.scenario_timeline,
+                simulator.scenario,
+                num_epochs,
+                spawn_generators(rng, 1)[0],
+                admission=simulator.admission_policy,
+            )
         #: Cumulative per-phase wall time (seconds) across all epochs run so
         #: far: ``churn_gen`` / ``advance`` / ``solve`` / ``measure``.  The
         #: ``simulate --profile`` flag prints this breakdown.
@@ -722,6 +796,15 @@ class EpochSession:
         # actually churns, so static-fleet runs replay the exact RNG layout
         # (and records) of the pre-elastic engine.
         phase_start = time.perf_counter()
+        runtime = self.scenario_runtime
+        plan = None
+        scenario_stats: Optional[AdmissionStats] = None
+        if runtime is not None:
+            # The timeline consumes any external capacity delta: the plan's
+            # fleet snapshot re-bases on it before gating, so a federation
+            # re-slice and a mid-outage epoch compose in one delta.
+            plan = runtime.plan_epoch(epoch, sim.churn_spec, capacity_delta=capacity_delta)
+            capacity_delta = None
         if server_active:
             churn_rng, server_rng, *reassign_rngs = spawn_generators(
                 self.epoch_rngs[epoch], 2 + len(sim.algorithms)
@@ -731,7 +814,12 @@ class EpochSession:
             churn_rng, *reassign_rngs = spawn_generators(
                 self.epoch_rngs[epoch], 1 + len(sim.algorithms)
             )
-        batch = generate_churn(state.scenario, sim.churn_spec, seed=churn_rng)
+        churn_spec = sim.churn_spec if plan is None else plan.churn_spec
+        batch = generate_churn(state.scenario, churn_spec, seed=churn_rng)
+        if runtime is not None:
+            batch, scenario_stats = runtime.prepare_batch(
+                plan, batch, state.scenario.population
+            )
         churn = apply_churn(state.scenario.population, batch)
         server_churn: Optional[ServerChurnResult] = None
         if server_active:
@@ -742,11 +830,20 @@ class EpochSession:
                 seed=server_rng,
             )
             server_churn = apply_server_churn(state.scenario.servers, server_batch)
+        elif plan is not None:
+            server_churn = plan.server_churn
         elif capacity_delta is not None:
             server_churn = self._external_capacity_delta(capacity_delta)
         timings: Dict[str, float] = {"churn_gen": time.perf_counter() - phase_start}
         phase_start = time.perf_counter()
         new_scenario, new_instance = sim._advance_world(state, churn, server_churn)
+        # Delay overlays (link degradation) produce a *separate* effective
+        # instance for this epoch's measurements and repairs; the clean
+        # instance keeps advancing through the delta pipeline, so overlays
+        # never disturb the `mirrors_arrays_of` aliasing invariant.
+        eff_instance = new_instance
+        if runtime is not None:
+            eff_instance = runtime.overlay_instance(plan, new_scenario, new_instance)
         timings["advance"] = time.perf_counter() - phase_start
         action = self.schedule.action_for_epoch(epoch)
 
@@ -763,12 +860,19 @@ class EpochSession:
                 batch,
                 churn,
                 server_churn,
-                new_instance,
+                eff_instance,
                 self.schedule,
                 action,
                 reassign_rngs[i],
                 timings=timings,
+                overlay_active=eff_instance is not new_instance,
             )
+            if scenario_stats is not None:
+                record = replace(
+                    record,
+                    clients_degraded=scenario_stats.clients_degraded,
+                    capacity_deficit=scenario_stats.capacity_deficit,
+                )
             next_assignments[name] = adopted
             next_measures[name] = (record.pqos_adopted, record.utilization_adopted)
             records.append(record)

@@ -39,6 +39,7 @@ from repro.dynamics.engine import ChurnSimulator, EpochRecord, EpochSession
 from repro.dynamics.measurement import measured_server_loads
 from repro.dynamics.migration import MigrationCostModel
 from repro.dynamics.policies import PolicySchedule
+from repro.dynamics.scenarios import ScenarioTimeline, build_timeline
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.world.federation import FederatedWorld
 
@@ -104,6 +105,16 @@ class FederatedSimulator:
         composed from its running aggregates, and the whole-system records
         are composed from the shard records — per-client arrays are never
         re-reduced at the federation layer).
+    scenario_timeline:
+        Optional incident timeline(s) (:mod:`repro.dynamics.scenarios`) — one
+        timeline (or spec string / library name) applied to *every* shard, or
+        a sequence with one entry per shard (``None`` entries leave that
+        shard undisturbed).  Each shard runs its own
+        :class:`~repro.dynamics.scenarios.ScenarioRuntime` over its capacity
+        slice; arbitration re-slices compose with mid-incident gating inside
+        the shard session.
+    admission_policy:
+        Shedding/re-admission thresholds forwarded to every shard.
     """
 
     world: FederatedWorld
@@ -118,6 +129,8 @@ class FederatedSimulator:
     backend: str = "delta"
     solver_backend: Optional[str] = None
     measurement_backend: str = "full"
+    scenario_timeline: object = None
+    admission_policy: object = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -135,6 +148,34 @@ class FederatedSimulator:
             )
         return specs
 
+    def _shard_timelines(self) -> List[Optional[ScenarioTimeline]]:
+        """Per-shard timelines: one for all, or one entry per shard.
+
+        A sequence whose length equals the shard count and whose entries are
+        all ``None`` / spec strings / timelines is read per shard; any other
+        input builds a single composed timeline shared by every shard.
+        """
+        timeline = self.scenario_timeline
+        if timeline is None:
+            return [None] * self.num_shards
+        if isinstance(timeline, ScenarioTimeline):
+            return [timeline] * self.num_shards
+        if isinstance(timeline, str):
+            return [build_timeline(timeline)] * self.num_shards
+        items = list(timeline)
+        if len(items) == self.num_shards and all(
+            item is None or isinstance(item, (str, ScenarioTimeline)) for item in items
+        ):
+            return [
+                None
+                if item is None
+                else item
+                if isinstance(item, ScenarioTimeline)
+                else build_timeline(item)
+                for item in items
+            ]
+        return [build_timeline(items)] * self.num_shards
+
     def _shard_seeds(self) -> list:
         if self.num_shards == 1:
             # Degenerate federation: pass the seed straight through so the
@@ -145,6 +186,7 @@ class FederatedSimulator:
     def _shard_simulators(self) -> List[ChurnSimulator]:
         specs = self._shard_churn_specs()
         seeds = self._shard_seeds()
+        timelines = self._shard_timelines()
         return [
             ChurnSimulator(
                 scenario=self.world.shards[i],
@@ -158,6 +200,8 @@ class FederatedSimulator:
                 backend=self.backend,
                 solver_backend=self.solver_backend,
                 measurement_backend=self.measurement_backend,
+                scenario_timeline=timelines[i],
+                admission_policy=self.admission_policy,
             )
             for i in range(self.num_shards)
         ]
@@ -241,6 +285,8 @@ class FederatedSimulator:
             clients_migrated=sum(r.clients_migrated for r in shard_records),
             migration_cost=sum(r.migration_cost for r in shard_records),
             shard_id=AGGREGATE_SHARD_ID,
+            clients_degraded=sum(r.clients_degraded for r in shard_records),
+            capacity_deficit=sum(r.capacity_deficit for r in shard_records),
         )
 
     # ------------------------------------------------------------------ #

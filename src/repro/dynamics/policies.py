@@ -36,6 +36,7 @@ from repro.core.grec import assign_contacts_greedy
 from repro.core.problem import CAPInstance
 from repro.core.registry import solve as registry_solve
 from repro.core.assignment import ZoneAssignment
+from repro.dynamics.degradation import pick_evacuation_host
 from repro.dynamics.events import ChurnResult
 from repro.dynamics.infrastructure import ServerChurnResult
 from repro.utils.rng import SeedLike
@@ -119,7 +120,12 @@ def remap_assignment_servers(
       in zone order, goes to the server with the most remaining capacity
       (capacity accounted against ``new_instance``'s zone demands) — a
       deterministic emergency placement that any repair policy can then
-      improve on.
+      improve on.  When *no* server has free capacity (an infeasible world
+      mid-incident), :func:`repro.dynamics.degradation.pick_evacuation_host`
+      places the zone on the least relatively overloaded server, ties to the
+      lowest index — still deterministic, never raising; the overload then
+      surfaces through ``capacity_exceeded`` and is resolved by the scenario
+      layer's shedding when admission control is active.
     * Contacts on surviving servers are re-indexed; contacts on departed
       servers fall back to the client's (possibly evacuated) target server,
       the same direct-connection default newly joined clients get.
@@ -152,7 +158,7 @@ def remap_assignment_servers(
             np.add.at(loads, zone_map[hosted], zone_demands[hosted])
         free = new_instance.server_capacities - loads
         for zone in orphaned:
-            target = int(np.argmax(free))
+            target = pick_evacuation_host(free, new_instance.server_capacities)
             zone_map[zone] = target
             free[target] -= zone_demands[zone]
 

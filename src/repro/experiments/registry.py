@@ -22,6 +22,7 @@ from repro.experiments import (
     figure5,
     figure6,
     runtime,
+    scenarios,
     table1,
     table3,
     table4,
@@ -152,6 +153,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "Cross-shard capacity arbiters on a federated multi-shard world",
         federation.run_federation,
         federation.format_federation,
+    ),
+    "scenarios": _spec(
+        "scenarios",
+        "(extension)",
+        "Incident scenario library: recovery metrics under graceful degradation",
+        scenarios.run_scenarios,
+        scenarios.format_scenarios,
     ),
     "delay-bound": _spec(
         "delay-bound",

@@ -8,6 +8,7 @@ and the multi-run aggregation statistics.
 
 from repro.metrics.cdf import EmpiricalCDF, delay_cdf, merge_cdfs
 from repro.metrics.qos import QoSReport, client_delays, pqos, qos_report
+from repro.metrics.recovery import RecoveryReport, recovery_report
 from repro.metrics.resources import ResourceReport, resource_report, resource_utilization
 from repro.metrics.summary import AggregateStat, GroupedRunningStats, RunningStats, aggregate
 
@@ -19,6 +20,8 @@ __all__ = [
     "client_delays",
     "pqos",
     "qos_report",
+    "RecoveryReport",
+    "recovery_report",
     "ResourceReport",
     "resource_report",
     "resource_utilization",

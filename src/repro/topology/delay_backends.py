@@ -460,6 +460,25 @@ class CompactDelayMatrix:
             candidates = _candidates_from_anchors(
                 node_server, self.zone_anchors, self.zone_candidates.shape[1]
             )
+            # Re-cover guard: a server churn batch may have removed *every*
+            # server a zone's old candidate set pointed at.  Re-selection from
+            # the anchors must leave each zone at least one real-delay
+            # (non-sentinel) candidate in the surviving fleet — otherwise the
+            # 1e9 ms sentinel would silently win every assignment for that
+            # zone.  This is structural (re-selection picks from the new
+            # fleet), so a violation means the rebuild itself is broken.
+            if candidates.size:
+                if candidates.min() < 0 or candidates.max() >= node_server.shape[1]:
+                    raise ValueError(
+                        "candidate re-cover produced out-of-range server ids; "
+                        "a zone would see only sentinel delays"
+                    )
+                anchor_delays = node_server[self.zone_anchors[:, None], candidates]
+                if not (anchor_delays < self.fill_value).any(axis=1).all():
+                    raise ValueError(
+                        "candidate re-cover left a zone with sentinel-only "
+                        "candidates after server churn"
+                    )
         return CompactDelayMatrix(
             backend=self.backend,
             server_nodes=server_nodes,
@@ -469,6 +488,34 @@ class CompactDelayMatrix:
             zone_candidates=candidates,
             zone_anchors=self.zone_anchors,
             fill_value=self.fill_value,
+        )
+
+    def with_node_server(self, node_server: np.ndarray) -> "CompactDelayMatrix":
+        """New matrix with a substituted node→server table (overlay hook).
+
+        Same fleet, clients and candidate sets — only the delay values
+        change.  Scenario link-degradation overlays use this to scale the
+        affected nodes' rows without touching the delay model or the
+        candidate geometry; caches are carried since the candidate sets are
+        unchanged.
+        """
+        node_server = np.asarray(node_server, dtype=np.float64)
+        if node_server.shape != self.node_server.shape:
+            raise ValueError(
+                f"node_server must keep shape {self.node_server.shape}, "
+                f"got {node_server.shape}"
+            )
+        return CompactDelayMatrix(
+            backend=self.backend,
+            server_nodes=self.server_nodes,
+            node_server=_read_only(node_server),
+            client_nodes=self.client_nodes,
+            client_zones=self.client_zones,
+            zone_candidates=self.zone_candidates,
+            zone_anchors=self.zone_anchors,
+            fill_value=self.fill_value,
+            _allowed_cache=self._allowed_cache,
+            _sorted_candidates_cache=self._sorted_candidates_cache,
         )
 
 
