@@ -5,18 +5,29 @@ on) serially and with four worker processes, asserts the observations are
 bit-identical, and — on multi-core machines — that the pool delivers a real
 wall-clock speedup.  On single-core machines only the determinism half runs;
 there is nothing to parallelise onto.
+
+Also measures the zero-copy dispatch payload: with ``share_topology`` and
+parallel workers, the shared all-pairs RTT matrix travels through
+``multiprocessing.shared_memory`` and each task pickles an O(1) segment
+handle instead of the O(nodes²) matrix.  The measured per-task pickled sizes
+(and the asserted bound) are written to ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+from pathlib import Path
 
 import pytest
 
 import numpy as np
 
 from repro.experiments.config import config_from_label
-from repro.experiments.runner import run_replications
+from repro.experiments.runner import _RunTask, run_replications
+from repro.io.serialization import dump_json
+from repro.topology.brite import generate_topology
+from repro.topology.delays import DelayModel
 from repro.utils.pool import available_cpus
 
 from benchmarks.conftest import bench_runs
@@ -26,6 +37,8 @@ pytestmark = pytest.mark.benchmark
 NUM_RUNS = bench_runs(4)
 LABEL = "30s-160z-2000c-1000cp"
 ALGORITHMS = ["ranz-virc", "grez-grec"]
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def _timed_run(workers):
@@ -69,3 +82,57 @@ def test_bench_parallel_determinism_and_speedup(record):
             f"expected wall-clock speedup with 4 workers on {available_cpus()} CPUs, "
             f"got {speedup:.2f}x ({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
         )
+
+
+def test_bench_zero_copy_dispatch_payload(record):
+    config = config_from_label(LABEL, correlation=0.5)
+    model = DelayModel(
+        generate_topology(config.topology, seed=0),
+        max_rtt_ms=config.max_rtt_ms,
+        server_mesh_factor=config.server_mesh_factor,
+    )
+    rtt_bytes = model.rtt.nbytes  # materialise before measuring
+
+    def task_bytes() -> int:
+        task = _RunTask(
+            config=config,
+            algorithms=tuple(ALGORITHMS),
+            rng=np.random.default_rng(0),
+            estimator=None,
+            delay_bound_ms=None,
+            collect_delays=True,
+            topology=model.topology,
+            delay_model=model,
+        )
+        return len(pickle.dumps(task))
+
+    plain_bytes = task_bytes()
+    model.share_rtt()
+    try:
+        shared_bytes = task_bytes()
+    finally:
+        model.unshare_rtt()
+
+    lines = [
+        f"Zero-copy dispatch payload on {LABEL} (share_topology + parallel workers):",
+        f"  all-pairs RTT matrix:      {rtt_bytes:10d} B",
+        f"  task pickled, plain:       {plain_bytes:10d} B  (ships the matrix)",
+        f"  task pickled, shared mem:  {shared_bytes:10d} B  (ships a named handle)",
+        f"  payload reduction:         {plain_bytes / shared_bytes:10.1f}x",
+    ]
+    record("parallel_payload", "\n".join(lines))
+    dump_json(
+        {
+            "label": LABEL,
+            "rtt_matrix_bytes": rtt_bytes,
+            "task_pickled_bytes_plain": plain_bytes,
+            "task_pickled_bytes_shared": shared_bytes,
+            "payload_reduction": plain_bytes / shared_bytes,
+        },
+        RESULTS_PATH,
+    )
+
+    # O(1) in the matrix: sharing removes (essentially all of) the matrix from
+    # the payload, and what remains is small against the data it replaces.
+    assert plain_bytes - shared_bytes > 0.9 * rtt_bytes
+    assert shared_bytes < rtt_bytes / 20

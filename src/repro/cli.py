@@ -243,6 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: serial; 0 = one per CPU; results are identical for any value)"
         ),
     )
+    exp.add_argument(
+        "--shard-workers",
+        type=_workers_type,
+        default=None,
+        help=(
+            "worker threads stepping federated shards within each epoch "
+            "(federation experiment only; default: serial; 0 = one per CPU; "
+            "records are identical for any value)"
+        ),
+    )
     _add_solver_backend_flag(exp)
     _add_delay_backend_flag(exp)
 
@@ -411,6 +421,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes when --runs > 1 (default: serial; 0 = one per CPU)",
     )
     fedp.add_argument(
+        "--shard-workers",
+        type=_workers_type,
+        default=None,
+        help=(
+            "worker threads stepping the shards within each epoch "
+            "(default: serial; 0 = one per CPU; the record stream is "
+            "byte-identical for any value)"
+        ),
+    )
+    fedp.add_argument(
         "--churn-fraction",
         type=_non_negative_float,
         default=0.1,
@@ -444,6 +464,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_delay_backend_flag(fedp)
     _add_measurement_backend_flag(fedp)
     _add_scenario_flags(fedp)
+    fedp.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-shard runtime breakdown (epoch wall / solve / measure / "
+            "barrier wait) plus arbiter decision time after the summary "
+            "(single-run only)"
+        ),
+    )
 
     return parser
 
@@ -825,6 +854,7 @@ def _build_federated_simulator(args: argparse.Namespace, config, rng) -> Federat
         measurement_backend=args.measurement_backend,
         scenario_timeline=timeline,
         admission_policy=admission,
+        shard_workers=args.shard_workers,
     )
 
 
@@ -836,14 +866,23 @@ def _execute_federate_run(task) -> List[EpochRecord]:
     return _build_federated_simulator(args, config, rng).run(args.epochs)
 
 
-def _federate_records(args: argparse.Namespace, config) -> Iterator[Tuple[int, EpochRecord]]:
-    """Yield ``(run_index, record)`` pairs, streaming whenever possible."""
+def _federate_records(
+    args: argparse.Namespace, config, profile_sink: Optional[dict] = None
+) -> Iterator[Tuple[int, EpochRecord]]:
+    """Yield ``(run_index, record)`` pairs, streaming whenever possible.
+
+    When ``profile_sink`` is given and the run is serial, the simulator's
+    :class:`~repro.dynamics.federation_engine.FederationProfile` is stored
+    under ``"federation_profile"`` after the stream is drained.
+    """
     rng = as_generator(args.seed)
     run_rngs = spawn_generators(rng, args.runs)
     if args.runs == 1:
         simulator = _build_federated_simulator(args, config, run_rngs[0])
         for record in simulator.stream(args.epochs):
             yield 0, record
+        if profile_sink is not None and simulator.last_profile is not None:
+            profile_sink["federation_profile"] = simulator.last_profile
         return
     tasks = [(args, config, run_rngs[i]) for i in range(args.runs)]
     for run_index, records in enumerate(
@@ -903,6 +942,11 @@ def _cmd_federate(args: argparse.Namespace) -> int:
                 "migration budget / shard": (
                     "unlimited" if args.migration_budget is None else args.migration_budget
                 ),
+                "shard workers": (
+                    "serial"
+                    if args.shard_workers is None
+                    else ("all CPUs" if args.shard_workers == 0 else args.shard_workers)
+                ),
                 "runs": args.runs,
                 "seed": args.seed,
             },
@@ -932,7 +976,13 @@ def _cmd_federate(args: argparse.Namespace) -> int:
                 stats.add((*key, "clients"), float(record.num_clients_after))
             num_records += 1
 
-    pairs = _federate_records(args, config)
+    profile_sink: Optional[dict] = None
+    if args.profile:
+        if args.runs == 1:
+            profile_sink = {}
+        else:
+            print("note: --profile only applies to single-run invocations; ignoring\n")
+    pairs = _federate_records(args, config, profile_sink=profile_sink)
     writer = None
     fed_fields = (
         ("shard_id", *EpochRecord.SCENARIO_FIELDS)
@@ -984,6 +1034,51 @@ def _cmd_federate(args: argparse.Namespace) -> int:
             float_format=".3f",
         )
     )
+    if profile_sink is not None and "federation_profile" in profile_sink:
+        profile = profile_sink["federation_profile"]
+        epochs = max(1, profile.num_epochs)
+        rows = [
+            [
+                f"shard {shard_id}",
+                profile.shard_wall_seconds[shard_id],
+                profile.shard_wall_seconds[shard_id] / epochs,
+                profile.shard_solve_seconds[shard_id],
+                profile.shard_measure_seconds[shard_id],
+                profile.shard_barrier_seconds[shard_id],
+            ]
+            for shard_id in range(profile.num_shards)
+        ]
+        total_wall = sum(profile.shard_wall_seconds)
+        rows.append(
+            [
+                "all shards",
+                total_wall,
+                total_wall / epochs,
+                sum(profile.shard_solve_seconds),
+                sum(profile.shard_measure_seconds),
+                sum(profile.shard_barrier_seconds),
+            ]
+        )
+        print()
+        print(
+            format_table(
+                [
+                    "shard",
+                    "epoch wall (s)",
+                    "wall / epoch",
+                    "solve (s)",
+                    "measure (s)",
+                    "barrier wait (s)",
+                ],
+                rows,
+                title=(
+                    f"Shard runtime over {profile.num_epochs} epoch(s), "
+                    f"{profile.shard_workers} shard worker(s); "
+                    f"arbiter decisions {profile.arbiter_seconds:.4f}s total"
+                ),
+                float_format=".4f",
+            )
+        )
     if args.csv:
         print(f"\n[{num_records} records streamed to {args.csv}]")
     return 0
@@ -993,6 +1088,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
     if args.workers is not None and not spec.supports_workers:
         print(f"note: experiment {spec.experiment_id!r} always runs serially; --workers ignored")
+    if args.shard_workers is not None and not spec.supports_shard_workers:
+        print(
+            f"note: experiment {spec.experiment_id!r} has no federated shards; "
+            "--shard-workers ignored"
+        )
     config = ExperimentConfig(
         num_runs=args.runs,
         seed=args.seed,
@@ -1000,7 +1100,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
         delay_backend=args.delay_backend,
     )
-    result = run_experiment(spec, config)
+    extra = {}
+    if args.shard_workers is not None and spec.supports_shard_workers:
+        extra["shard_workers"] = args.shard_workers
+    result = run_experiment(spec, config, **extra)
     print(spec.format(result))
     return 0
 

@@ -109,6 +109,7 @@ def _execute_federation_run(task) -> GroupedRunningStats:
         policy,
         backend,
         solver_backend,
+        shard_workers,
         rng,
     ) = task
     fed_rng, sim_rng = spawn_generators(rng, 2)
@@ -131,6 +132,7 @@ def _execute_federation_run(task) -> GroupedRunningStats:
             policy_migration_budget=migration_budget,
             backend=backend,
             solver_backend=solver_backend,
+            shard_workers=shard_workers,
         )
         records = simulator.run(num_epochs)
         aggregate = [r for r in records if r.shard_id == AGGREGATE_SHARD_ID]
@@ -175,6 +177,7 @@ def run_federation(
     workers: Optional[int] = None,
     solver_backend: Optional[str] = None,
     delay_backend: Optional[str] = None,
+    shard_workers: Optional[int] = None,
 ) -> FederationResult:
     """Run the federated-arbitration experiment.
 
@@ -185,6 +188,11 @@ def run_federation(
     25 % of the shard-average population (so arbiters are compared under the
     same disruption ceiling).  Pass ``churn`` to force one spec for every
     shard, ``migration_budget=math.inf`` for the unbudgeted setting.
+
+    ``workers`` parallelises *replications* over processes; ``shard_workers``
+    additionally threads the shards *within* each federated epoch (records
+    are bit-identical either way).  The two compose, but on small machines
+    prefer one level of parallelism at a time.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
@@ -225,6 +233,7 @@ def run_federation(
             policy,
             backend,
             solver_backend,
+            shard_workers,
             run_rngs[i],
         )
         for i in range(num_runs)

@@ -53,9 +53,20 @@ class ExperimentSpec:
     run: Callable[..., object]
     format: Callable[[object], str]
     supports_workers: bool = True
+    #: Driver accepts ``shard_workers`` (thread-parallel shard stepping
+    #: inside each federated epoch); only the federation driver does.
+    supports_shard_workers: bool = False
 
 
-def _spec(experiment_id, paper_artifact, description, run, fmt, supports_workers=True):
+def _spec(
+    experiment_id,
+    paper_artifact,
+    description,
+    run,
+    fmt,
+    supports_workers=True,
+    supports_shard_workers=False,
+):
     return ExperimentSpec(
         experiment_id=experiment_id,
         paper_artifact=paper_artifact,
@@ -63,6 +74,7 @@ def _spec(experiment_id, paper_artifact, description, run, fmt, supports_workers
         run=run,
         format=fmt,
         supports_workers=supports_workers,
+        supports_shard_workers=supports_shard_workers,
     )
 
 
@@ -153,6 +165,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "Cross-shard capacity arbiters on a federated multi-shard world",
         federation.run_federation,
         federation.format_federation,
+        supports_shard_workers=True,
     ),
     "scenarios": _spec(
         "scenarios",

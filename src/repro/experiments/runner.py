@@ -28,7 +28,7 @@ from repro.core.registry import ensure_registered, solve as registry_solve
 from repro.measurement.estimators import DelayEstimator
 from repro.metrics.cdf import EmpiricalCDF, delay_cdf, merge_cdfs
 from repro.metrics.summary import AggregateStat, aggregate
-from repro.utils.pool import ordered_map
+from repro.utils.pool import ordered_map, resolve_workers
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 from repro.utils.timing import Timer
 from repro.world.scenario import DVEConfig, DVEScenario, build_scenario
@@ -226,7 +226,11 @@ def run_replications(
     share_topology:
         Reuse a single topology sample (and its all-pairs delay matrix) across
         runs; placements and distributions still vary.  Cuts run time roughly
-        in half for quick exploratory sweeps.
+        in half for quick exploratory sweeps.  With parallel workers the
+        all-pairs RTT matrix is additionally published to shared memory
+        before dispatch, so each task's pickled payload stays O(1) in the
+        matrix and workers neither recompute nor receive a private copy —
+        bit-identical to the plain pickling path.
     keep_observations:
         Also return the raw per-run observations.
     workers:
@@ -258,6 +262,16 @@ def run_replications(
             server_mesh_factor=config.server_mesh_factor,
         )
 
+    # Zero-copy dispatch: with parallel workers, materialise the shared RTT
+    # matrix once and publish it to shared memory so every task pickles an
+    # O(1) segment handle instead of recomputing (or shipping) the O(nodes²)
+    # matrix per task.  Serial runs share the model object in-process anyway.
+    use_shared_memory = (
+        shared_delay_model is not None and resolve_workers(workers, num_tasks=num_runs) > 1
+    )
+    if use_shared_memory:
+        shared_delay_model.share_rtt()
+
     tasks = [
         _RunTask(
             config=config,
@@ -274,9 +288,13 @@ def run_replications(
     ]
 
     per_algorithm: Dict[str, List[RunObservation]] = {name: [] for name in algorithms}
-    for observations in ordered_map(_execute_run, tasks, workers=workers):
-        for name in algorithms:
-            per_algorithm[name].append(observations[name])
+    try:
+        for observations in ordered_map(_execute_run, tasks, workers=workers):
+            for name in algorithms:
+                per_algorithm[name].append(observations[name])
+    finally:
+        if use_shared_memory:
+            shared_delay_model.unshare_rtt()
 
     summaries: Dict[str, AlgorithmSummary] = {}
     for name in algorithms:

@@ -34,6 +34,7 @@ and zone-aggregated fast paths, which is all the solvers' hot loops need.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -47,6 +48,12 @@ from repro.topology.coordinates import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.topology.delays import DelayModel
+
+# One process-wide lock guards every lazily-filled backend cache (candidate
+# masks, sorted candidate sets, coordinate embeddings).  The fills are rare —
+# once per instance / delay model — so a shared lock costs nothing, and the
+# double-checked fast path never takes it after the first resolution.
+_CACHE_FILL_LOCK = threading.Lock()
 
 __all__ = [
     "DELAY_BACKENDS",
@@ -270,15 +277,22 @@ class CompactDelayMatrix:
         return self._allowed()
 
     def _allowed(self) -> np.ndarray:
-        """Cached ``(num_zones, m)`` candidate mask (sparse backend only)."""
+        """Cached ``(num_zones, m)`` candidate mask (sparse backend only).
+
+        Double-checked against :data:`_CACHE_FILL_LOCK` so concurrent shard
+        threads sharing an instance fill the cache at most once.
+        """
         cached = self._allowed_cache
         if cached is None:
-            num_zones, top_k = self.zone_candidates.shape
-            cached = np.zeros((num_zones, self.num_servers), dtype=bool)
-            rows = np.repeat(np.arange(num_zones), top_k)
-            cached[rows, self.zone_candidates.ravel()] = True
-            cached = _read_only(cached)
-            object.__setattr__(self, "_allowed_cache", cached)
+            with _CACHE_FILL_LOCK:
+                cached = self._allowed_cache
+                if cached is None:
+                    num_zones, top_k = self.zone_candidates.shape
+                    cached = np.zeros((num_zones, self.num_servers), dtype=bool)
+                    rows = np.repeat(np.arange(num_zones), top_k)
+                    cached[rows, self.zone_candidates.ravel()] = True
+                    cached = _read_only(cached)
+                    object.__setattr__(self, "_allowed_cache", cached)
         return cached
 
     def _sorted_candidates(self) -> np.ndarray:
@@ -287,11 +301,15 @@ class CompactDelayMatrix:
         Candidate rows are sets — their stored order (near-first, then the
         strided tail) carries no meaning — so a once-per-instance row sort
         gives every consumer index-sorted lists without a per-query sort.
+        Thread-safe via the same double-checked lock as :meth:`_allowed`.
         """
         cached = self._sorted_candidates_cache
         if cached is None:
-            cached = _read_only(np.sort(self.zone_candidates, axis=1))
-            object.__setattr__(self, "_sorted_candidates_cache", cached)
+            with _CACHE_FILL_LOCK:
+                cached = self._sorted_candidates_cache
+                if cached is None:
+                    cached = _read_only(np.sort(self.zone_candidates, axis=1))
+                    object.__setattr__(self, "_sorted_candidates_cache", cached)
         return cached
 
     def candidate_rows(
@@ -682,14 +700,19 @@ def network_coordinates_for(
     The fit is cached on the delay model keyed by dimension, so every
     scenario, federation shard and experiment replication sharing a delay
     model shares one embedding — and the fit's internal RNG never touches
-    any scenario stream.
+    any scenario stream.  Double-checked locking makes concurrent first
+    callers (thread-parallel shard stepping) agree on a single fit.
     """
     cache = getattr(delay_model, "_coords_cache", None)
-    if cache is None:
-        cache = {}
-        delay_model._coords_cache = cache
-    coords = cache.get(dim)
+    coords = None if cache is None else cache.get(dim)
     if coords is None:
-        coords = fit_network_coordinates(delay_model.rtt, dim=dim)
-        cache[dim] = coords
+        with _CACHE_FILL_LOCK:
+            cache = getattr(delay_model, "_coords_cache", None)
+            if cache is None:
+                cache = {}
+                delay_model._coords_cache = cache
+            coords = cache.get(dim)
+            if coords is None:
+                coords = fit_network_coordinates(delay_model.rtt, dim=dim)
+                cache[dim] = coords
     return coords

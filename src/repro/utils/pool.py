@@ -1,39 +1,61 @@
-"""Process-pool plumbing for the parallel experiment engine.
+"""Unified parallel-execution layer: serial, thread and process executors.
 
 The replication engine in :mod:`repro.experiments.runner` fans independent
-simulation runs out over worker processes.  The helpers here keep that code
-small and policy-free:
+simulation runs out over worker processes, and the federation engine in
+:mod:`repro.dynamics.federation_engine` steps independent shards on worker
+threads.  Both go through the same executor abstraction defined here:
 
 * :func:`resolve_workers` turns the user-facing ``workers`` knob (``None``,
-  ``0`` = all cores, or an explicit count) into a concrete process count,
+  ``0`` = all cores, or an explicit count) into a concrete worker count,
   never exceeding the number of tasks;
 * :func:`default_chunksize` picks a ``chunksize`` for ``Executor.map`` that
   balances scheduling overhead against load-balancing granularity;
-* :func:`ordered_map` runs a picklable function over a task list with a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (or serially for one
-  worker), yielding results in task order as they stream back.
+* :class:`Executor` wraps one backend (``serial`` | ``thread`` | ``process``)
+  behind an ordered-map API, creating its pool lazily and keeping it alive
+  across calls;
+* :func:`shared_executor` hands out process-wide executors keyed by
+  ``(kind, workers)`` so an experiment run pays pool start-up once, not once
+  per ``ordered_map`` invocation;
+* :func:`ordered_map` / :func:`run_ordered` keep their original signatures
+  (plus an optional ``kind``) and dispatch through the shared executors.
+
+Worker failures never surface as bare remote tracebacks: every parallel task
+is index-wrapped, and a failure re-raises as :class:`WorkerTaskError` carrying
+the failing task index and a serial-repro hint, chained to the original
+exception.
 
 Determinism is the caller's contract: each task must carry its own
 pre-spawned RNG state (see :func:`repro.utils.rng.spawn_generators`), so the
-result of a task never depends on which process runs it or in which order.
+result of a task never depends on which worker runs it or in which order.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "available_cpus",
     "resolve_workers",
     "default_chunksize",
+    "WorkerTaskError",
+    "Executor",
+    "shared_executor",
+    "shutdown_shared_executors",
     "ordered_map",
     "run_ordered",
 ]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 def available_cpus() -> int:
@@ -45,14 +67,14 @@ def available_cpus() -> int:
 
 
 def resolve_workers(workers: Optional[int], num_tasks: Optional[int] = None) -> int:
-    """Resolve the ``workers`` knob into a concrete worker-process count.
+    """Resolve the ``workers`` knob into a concrete worker count.
 
     Parameters
     ----------
     workers:
         ``None`` or ``1`` — run serially (in-process); ``0`` — use every
         available CPU; any other positive integer — use exactly that many
-        processes.  Negative values are rejected.
+        workers.  Negative values are rejected.
     num_tasks:
         When given, the result is additionally capped at ``num_tasks`` so a
         two-run experiment never pays for a 16-process pool.
@@ -82,29 +104,186 @@ def default_chunksize(num_tasks: int, workers: int) -> int:
     return max(1, num_tasks // (workers * 4))
 
 
+class WorkerTaskError(RuntimeError):
+    """A parallel ``ordered_map`` task failed.
+
+    Carries the zero-based index of the failing task (``task_index``) and the
+    original exception (``original``, also chained as ``__cause__``) so a
+    failure inside a worker is attributable without spelunking through remote
+    tracebacks.
+    """
+
+    def __init__(self, task_index: int, original: BaseException):
+        super().__init__(
+            f"parallel task {task_index} failed with "
+            f"{type(original).__name__}: {original} "
+            f"(hint: re-run with workers=1 to reproduce serially with a local traceback)"
+        )
+        self.task_index = task_index
+        self.original = original
+
+
+class _TaskFailure(Exception):
+    """Internal, picklable wrapper a worker raises around a task exception."""
+
+    def __init__(self, index: int, original: BaseException):
+        # args=(index, original) keeps default Exception pickling working.
+        super().__init__(index, original)
+        self.index = index
+        self.original = original
+
+
+def _run_indexed(fn: Callable[[_T], _R], indexed_task: Tuple[int, _T]) -> _R:
+    index, task = indexed_task
+    try:
+        return fn(task)
+    except Exception as exc:
+        raise _TaskFailure(index, exc) from exc
+
+
+class Executor:
+    """One ordered-map backend with a lazily created, reusable pool.
+
+    ``kind`` selects the backend: ``"serial"`` (plain in-process ``map``),
+    ``"thread"`` (:class:`ThreadPoolExecutor` — the right tool when workers
+    spend their time in GIL-releasing NumPy kernels over shared read-only
+    state), or ``"process"`` (:class:`ProcessPoolExecutor` — full isolation,
+    tasks and results must pickle).  The underlying pool is created on first
+    parallel use and kept alive until :meth:`shutdown`, so repeated
+    ``ordered_map`` calls amortise pool start-up.
+    """
+
+    def __init__(self, kind: str = "process", workers: Optional[int] = None):
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(f"kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
+        self.kind = kind
+        self.workers = 1 if kind == "serial" else resolve_workers(workers)
+        self._pool: Optional[object] = None
+        self._lock = threading.Lock()
+
+    def _get_pool(self):
+        with self._lock:
+            if self._pool is None:
+                cls = ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
+                self._pool = cls(max_workers=self.workers)
+            return self._pool
+
+    def ordered_map(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        chunksize: Optional[int] = None,
+    ) -> Iterator[_R]:
+        """Apply ``fn`` to every task, yielding results in task order.
+
+        Serial executors (and single-task inputs) use a plain ``map`` with no
+        wrapping, so the serial path is byte-for-byte the code path the
+        parallel path executes inside each worker.  Parallel failures raise
+        :class:`WorkerTaskError` with the failing task index.
+        """
+        tasks = list(tasks)
+        if self.kind == "serial" or self.workers <= 1 or len(tasks) <= 1:
+            yield from map(fn, tasks)
+            return
+        if chunksize is None:
+            effective = min(self.workers, len(tasks))
+            chunksize = 1 if self.kind == "thread" else default_chunksize(len(tasks), effective)
+        pool = self._get_pool()
+        results = pool.map(partial(_run_indexed, fn), enumerate(tasks), chunksize=chunksize)
+        while True:
+            try:
+                result = next(results)
+            except StopIteration:
+                return
+            except _TaskFailure as failure:
+                raise WorkerTaskError(failure.index, failure.original) from failure.original
+            except BrokenProcessPool:
+                # A dead worker poisons the pool; drop it so the next call
+                # starts from a fresh one instead of failing forever.
+                self.shutdown()
+                raise
+            yield result
+
+    def run_ordered(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        chunksize: Optional[int] = None,
+    ) -> List[_R]:
+        """Eager list version of :meth:`ordered_map` (drains the pool)."""
+        return list(self.ordered_map(fn, tasks, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        """Tear down the underlying pool (a later call recreates it)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+_SHARED_LOCK = threading.Lock()
+_SHARED: Dict[Tuple[str, int], Executor] = {}
+
+
+def shared_executor(kind: str = "process", workers: Optional[int] = None) -> Executor:
+    """Process-wide reusable executor for ``(kind, resolved workers)``.
+
+    The first request for a given key creates the :class:`Executor`; later
+    requests return the same instance, so one experiment run reuses one pool
+    across every ``ordered_map`` call instead of paying fork/spawn start-up
+    per invocation.  Pools are torn down at interpreter exit (or explicitly
+    via :func:`shutdown_shared_executors`).
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(f"kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
+    if kind == "serial":
+        return Executor("serial")
+    resolved = resolve_workers(workers)
+    key = (kind, resolved)
+    with _SHARED_LOCK:
+        executor = _SHARED.get(key)
+        if executor is None:
+            executor = Executor(kind, resolved)
+            _SHARED[key] = executor
+        return executor
+
+
+def shutdown_shared_executors() -> None:
+    """Shut down every shared pool (used by tests and the atexit hook)."""
+    with _SHARED_LOCK:
+        executors = list(_SHARED.values())
+        _SHARED.clear()
+    for executor in executors:
+        executor.shutdown()
+
+
+atexit.register(shutdown_shared_executors)
+
+
 def ordered_map(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    kind: str = "process",
 ) -> Iterator[_R]:
     """Apply ``fn`` to every task, yielding results in task order.
 
     With one (resolved) worker this is a plain in-process ``map`` — no
-    pickling, no subprocesses — so the serial path is byte-for-byte the code
-    path the parallel path executes inside each worker.  With more workers the
-    tasks are distributed over a :class:`ProcessPoolExecutor`; ``fn`` and each
-    task must be picklable, and results stream back as their chunk completes.
+    pickling, no subprocesses.  With more workers the tasks are distributed
+    over the shared :class:`Executor` for ``kind`` (``"process"`` by
+    default), whose pool persists across calls; ``fn`` and each task must be
+    picklable for the process backend, and results stream back in order.
+    A task that raises inside a worker re-raises here as
+    :class:`WorkerTaskError` with the failing task index.
     """
     tasks = list(tasks)
     resolved = resolve_workers(workers, num_tasks=len(tasks))
     if resolved <= 1 or len(tasks) <= 1:
         yield from map(fn, tasks)
         return
-    if chunksize is None:
-        chunksize = default_chunksize(len(tasks), resolved)
-    with ProcessPoolExecutor(max_workers=resolved) as pool:
-        yield from pool.map(fn, tasks, chunksize=chunksize)
+    executor = shared_executor(kind, resolved)
+    yield from executor.ordered_map(fn, tasks, chunksize=chunksize)
 
 
 def run_ordered(
@@ -112,6 +291,7 @@ def run_ordered(
     tasks: Sequence[_T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    kind: str = "process",
 ) -> List[_R]:
     """Eager list version of :func:`ordered_map` (drains the pool)."""
-    return list(ordered_map(fn, tasks, workers=workers, chunksize=chunksize))
+    return list(ordered_map(fn, tasks, workers=workers, chunksize=chunksize, kind=kind))

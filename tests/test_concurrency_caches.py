@@ -1,0 +1,112 @@
+"""Concurrent-access regression tests for the lazily-filled shared caches.
+
+Thread-parallel shard stepping shares the topology / delay model (and, per
+shard, the CAP instance) read-only by identity, so every lazy cache those
+objects fill on first use must be safe to race on: concurrent first readers
+must agree on a *single* cached object and the underlying computation must
+run at most once.  These tests hammer each cache from a barrier-synchronised
+thread pack so the first resolution really is concurrent.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.topology.delay_backends as delay_backends
+from repro.core.problem import CAPInstance
+from repro.topology.delay_backends import network_coordinates_for
+from repro.topology.delays import DelayModel
+from repro.world.scenario import build_scenario
+from tests.conftest import make_small_config
+
+NUM_THREADS = 8
+NUM_ROUNDS = 5
+
+
+def _hammer(fn, num_threads: int = NUM_THREADS):
+    """Run ``fn`` once per thread, released simultaneously; return results."""
+    barrier = threading.Barrier(num_threads)
+
+    def call(_):
+        barrier.wait()
+        return fn()
+
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        return list(pool.map(call, range(num_threads)))
+
+
+def _fresh_delay_model(seed: int = 0) -> DelayModel:
+    scenario = build_scenario(make_small_config(), seed=seed)
+    return DelayModel(scenario.topology)
+
+
+class TestDelayModelRttCache:
+    def test_concurrent_first_reads_agree(self):
+        for round_no in range(NUM_ROUNDS):
+            model = _fresh_delay_model(seed=round_no)
+            results = _hammer(lambda: model.rtt)
+            assert all(r is results[0] for r in results)
+            np.testing.assert_array_equal(
+                results[0], model.topology.round_trip_delays(max_rtt_ms=model.max_rtt_ms)
+            )
+
+
+class TestNetworkCoordinatesCache:
+    def test_concurrent_first_fit_happens_once(self, monkeypatch):
+        fits = []
+        real_fit = delay_backends.fit_network_coordinates
+
+        def counting_fit(rtt, dim):
+            fits.append(dim)
+            return real_fit(rtt, dim=dim)
+
+        monkeypatch.setattr(delay_backends, "fit_network_coordinates", counting_fit)
+        for round_no in range(NUM_ROUNDS):
+            fits.clear()
+            model = _fresh_delay_model(seed=round_no)
+            results = _hammer(lambda: network_coordinates_for(model))
+            assert all(r is results[0] for r in results)
+            assert len(fits) == 1, f"embedding fitted {len(fits)} times under contention"
+
+    def test_distinct_dims_cached_separately(self):
+        model = _fresh_delay_model()
+        five = network_coordinates_for(model, dim=5)
+        seven = network_coordinates_for(model, dim=7)
+        assert five is not seven
+        assert network_coordinates_for(model, dim=5) is five
+
+
+class TestZoneCaches:
+    @pytest.mark.parametrize("method", ["zone_demands", "zone_populations"])
+    def test_concurrent_first_reads_agree(self, method):
+        for round_no in range(NUM_ROUNDS):
+            scenario = build_scenario(make_small_config(), seed=100 + round_no)
+            instance = CAPInstance.from_scenario(scenario)
+            results = _hammer(getattr(instance, method))
+            assert all(r is results[0] for r in results)
+            assert not results[0].flags.writeable
+
+
+class TestCompactMatrixCaches:
+    def _sparse_instance(self, seed: int = 0) -> CAPInstance:
+        scenario = build_scenario(make_small_config(delay_backend="sparse"), seed=seed)
+        return CAPInstance.from_scenario(scenario)
+
+    def test_concurrent_candidate_mask_agrees(self):
+        for round_no in range(NUM_ROUNDS):
+            delays = self._sparse_instance(seed=round_no).client_server_delays
+            results = _hammer(delays.candidate_mask)
+            assert all(r is results[0] for r in results)
+
+    def test_concurrent_candidate_rows_agree(self):
+        delays = self._sparse_instance().client_server_delays
+        clients = np.arange(delays.shape[0], dtype=np.int64)
+        results = _hammer(lambda: delays.candidate_rows(clients))
+        servers0, delays0 = results[0]
+        for servers, values in results[1:]:
+            np.testing.assert_array_equal(servers, servers0)
+            np.testing.assert_array_equal(values, delays0)

@@ -11,11 +11,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import pickle
+
 import repro.baselines  # noqa: F401
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.experiments.runner import ReplicatedResult, _RunTask, run_replications
 from repro.experiments.table3 import run_table3
 from repro.measurement.estimators import idmaps_estimator
+from repro.topology.brite import generate_topology
+from repro.topology.delays import DelayModel
 from tests.conftest import make_small_config
 
 ALGORITHMS = ["ranz-virc", "grez-grec"]
@@ -105,6 +109,64 @@ class TestParallelDeterminism:
             assert serial.after[name].mean == parallel.after[name].mean
             assert serial.executed[name].mean == parallel.executed[name].mean
             assert serial.incremental[name].mean == parallel.incremental[name].mean
+
+
+class TestZeroCopyDispatch:
+    """``share_topology`` + parallel workers ship the RTT matrix via shared
+    memory: per-task payloads are O(1) in the matrix and results stay
+    bit-identical to the plain pickling path."""
+
+    def test_shared_memory_path_bit_identical_to_serial(self):
+        config = make_small_config(num_clients=50, num_zones=5)
+        kwargs = dict(num_runs=4, seed=9, share_topology=True, keep_observations=True)
+        serial = run_replications(config, ALGORITHMS, **kwargs)
+        parallel = run_replications(config, ALGORITHMS, workers=3, **kwargs)
+        _assert_identical_observations(serial, parallel)
+
+    def test_shared_memory_path_matches_unshared_topology_reuse(self):
+        # Serial share_topology reuses the model in-process (no shm); the shm
+        # dispatch path must agree with it bit-for-bit.
+        config = make_small_config(num_clients=40, num_zones=4)
+        kwargs = dict(num_runs=3, seed=1, share_topology=True, keep_observations=True)
+        a = run_replications(config, ["grez-grec"], workers=2, **kwargs)
+        b = run_replications(config, ["grez-grec"], workers=3, **kwargs)
+        _assert_identical_observations(a, b)
+
+    def test_task_payload_o1_in_delay_matrix(self):
+        config = make_small_config()
+        model = DelayModel(
+            generate_topology(config.topology, seed=0),
+            max_rtt_ms=config.max_rtt_ms,
+            server_mesh_factor=config.server_mesh_factor,
+        )
+        rtt_bytes = model.rtt.nbytes  # materialise before measuring
+
+        def task_bytes():
+            task = _RunTask(
+                config=config,
+                algorithms=("grez-grec",),
+                rng=np.random.default_rng(0),
+                estimator=None,
+                delay_bound_ms=None,
+                collect_delays=False,
+                topology=model.topology,
+                delay_model=model,
+            )
+            return len(pickle.dumps(task))
+
+        plain = task_bytes()
+        model.share_rtt()
+        try:
+            shared = task_bytes()
+        finally:
+            model.unshare_rtt()
+
+        # Without shm the task ships the whole matrix; with shm it ships a
+        # named handle — the matrix contributes nothing to the payload.
+        assert plain - shared > 0.9 * rtt_bytes
+        assert shared < rtt_bytes / 4
+        # Releasing shared memory restores the plain pickling path.
+        assert task_bytes() == plain
 
 
 class TestExperimentConfig:
