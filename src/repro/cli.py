@@ -19,7 +19,9 @@ runnable as ``python -m repro``.  Four sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tracemalloc
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import repro.baselines  # noqa: F401  (registers the baseline solvers)
@@ -43,6 +45,7 @@ from repro.experiments.config import (
     apply_delay_backend,
     config_from_label,
 )
+from repro.experiments.loadgen import format_loadgen, run_loadgen
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
 from repro.io.csvout import CsvAppender
 from repro.io.tables import format_kv, format_table
@@ -357,6 +360,78 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    # loadgen ----------------------------------------------------------------
+    load = sub.add_parser(
+        "loadgen",
+        help="sustained-throughput driver: steady-state epochs/sec and events/sec",
+    )
+    load.add_argument(
+        "--config",
+        default=PAPER_DEFAULT_LABEL,
+        help="DVE configuration label, e.g. 20s-80z-1000c-500cp",
+    )
+    load.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["grez-grec"],
+        help="solver names to track across epochs (see 'repro-dve list')",
+    )
+    load.add_argument("--epochs", type=int, default=300, help="measured steady-state epochs")
+    load.add_argument(
+        "--warmup", type=int, default=20, help="unmeasured warmup epochs before the clock starts"
+    )
+    load.add_argument(
+        "--policy",
+        default="warm_start",
+        choices=sorted(POLICY_NAMES),
+        help="per-epoch repair action schedule",
+    )
+    load.add_argument(
+        "--backend", default="delta", choices=BACKENDS, help="world-advance backend"
+    )
+    load.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    load.add_argument("--joins", type=int, default=200, help="clients joining per epoch")
+    load.add_argument("--leaves", type=int, default=200, help="clients leaving per epoch")
+    load.add_argument("--moves", type=int, default=200, help="clients moving zones per epoch")
+    load.add_argument(
+        "--correlation", type=float, default=0.0, help="physical-virtual correlation delta"
+    )
+    load.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="run the arena-free executable specification instead of the fast path",
+    )
+    load.add_argument(
+        "--compare",
+        action="store_true",
+        help="measure both arena on and off with the same harness and print the ratio",
+    )
+    load.add_argument(
+        "--alloc-profile",
+        action="store_true",
+        help=(
+            "also report steady-state allocated bytes per phase per epoch "
+            "(separate tracemalloc pass; does not taint the timing numbers)"
+        ),
+    )
+    load.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="dump the measured results as JSON to this path",
+    )
+    _add_solver_backend_flag(load)
+    _add_delay_backend_flag(load)
+    load.add_argument(
+        "--measurement-backend",
+        default="incremental",
+        choices=MEASUREMENT_BACKENDS,
+        help=(
+            "per-epoch QoS/load accounting (default: incremental — the "
+            "steady-state fast path this driver exists to measure)"
+        ),
+    )
+
     # federate ---------------------------------------------------------------
     fedp = sub.add_parser(
         "federate",
@@ -616,11 +691,25 @@ def _simulate_records(
             admission_policy=admission,
         )
         session = simulator.session(args.epochs)
-        while not session.done:
-            for record in session.run_epoch():
-                yield 0, record
+        started_tracing = False
+        if profile_sink is not None:
+            # Per-phase allocation probe: tracemalloc peak deltas per phase.
+            # The probe costs wall time, but --profile is an opt-in
+            # diagnostic, not a throughput measurement (loadgen is).
+            session.alloc_profile = True
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracing = True
+        try:
+            while not session.done:
+                for record in session.run_epoch():
+                    yield 0, record
+        finally:
+            if started_tracing:
+                tracemalloc.stop()
         if profile_sink is not None:
             profile_sink["phase_seconds"] = dict(session.phase_seconds)
+            profile_sink["phase_alloc_bytes"] = dict(session.phase_alloc_bytes)
         return
     tasks = [
         (
@@ -742,7 +831,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     writer = None
     csv_fields = EpochRecord.SCENARIO_FIELDS if scenario_active else EpochRecord.FIELDS
     if args.csv:
-        with CsvAppender(args.csv, ["run", *csv_fields]) as writer:
+        with CsvAppender(args.csv, ["run", *csv_fields], flush_interval=256) as writer:
             consume(pairs)
     else:
         consume(pairs)
@@ -784,7 +873,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     if profile_sink is not None and "phase_seconds" in profile_sink:
         phases = profile_sink["phase_seconds"]
+        allocs = profile_sink.get("phase_alloc_bytes", {})
         total = sum(phases.values())
+        total_alloc = sum(allocs.values())
         labels = {
             "churn_gen": "churn generation",
             "advance": "world advance",
@@ -797,14 +888,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 seconds,
                 seconds / args.epochs,
                 (100.0 * seconds / total) if total else 0.0,
+                f"{allocs.get(key, 0) / args.epochs:.0f}",
             ]
             for key, seconds in phases.items()
         ]
-        rows.append(["total", total, total / args.epochs, 100.0 if total else 0.0])
+        rows.append(
+            [
+                "total",
+                total,
+                total / args.epochs,
+                100.0 if total else 0.0,
+                f"{total_alloc / args.epochs:.0f}",
+            ]
+        )
         print()
         print(
             format_table(
-                ["phase", "seconds", "seconds / epoch", "% of total"],
+                ["phase", "seconds", "seconds / epoch", "% of total", "bytes / epoch"],
                 rows,
                 title=f"Phase breakdown over {args.epochs} epoch(s)",
                 float_format=".4f",
@@ -812,6 +912,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     if args.csv:
         print(f"\n[{num_records} records streamed to {args.csv}]")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.warmup < 0:
+        print("error: --warmup must be >= 0", file=sys.stderr)
+        return 2
+    if args.no_arena and args.compare:
+        print("error: --no-arena and --compare are mutually exclusive", file=sys.stderr)
+        return 2
+    churn = ChurnSpec(num_joins=args.joins, num_leaves=args.leaves, num_moves=args.moves)
+    arenas = [True, False] if args.compare else [not args.no_arena]
+    results = []
+    for arena in arenas:
+        results.append(
+            run_loadgen(
+                label=args.config,
+                algorithms=list(args.algorithms),
+                epochs=args.epochs,
+                warmup=args.warmup,
+                churn=churn,
+                policy=args.policy,
+                backend=args.backend,
+                measurement_backend=args.measurement_backend,
+                correlation=args.correlation,
+                seed=args.seed,
+                arena=arena,
+                alloc_profile=args.alloc_profile,
+                solver_backend=args.solver_backend,
+                delay_backend=args.delay_backend,
+            )
+        )
+    print(format_loadgen(results))
+    if args.compare:
+        on, off = results
+        print(
+            f"\narena on / off speedup: x{on.epochs_per_sec / off.epochs_per_sec:.2f} "
+            f"({on.epochs_per_sec:.1f} vs {off.epochs_per_sec:.1f} epochs/s)"
+        )
+        if on.alloc_bytes_per_epoch is not None and on.alloc_bytes_per_epoch > 0:
+            print(
+                "steady-state alloc reduction: "
+                f"x{off.alloc_bytes_per_epoch / on.alloc_bytes_per_epoch:.1f} "
+                f"({off.alloc_bytes_per_epoch:.0f} -> {on.alloc_bytes_per_epoch:.0f} "
+                "bytes/epoch)"
+            )
+    if args.json:
+        payload = [
+            {
+                "label": r.label,
+                "policy": r.policy,
+                "backend": r.backend,
+                "measurement_backend": r.measurement_backend,
+                "arena": r.arena,
+                "epochs": r.epochs,
+                "warmup": r.warmup,
+                "events_per_epoch": r.events_per_epoch,
+                "wall_seconds": r.wall_seconds,
+                "epochs_per_sec": r.epochs_per_sec,
+                "events_per_sec": r.events_per_sec,
+                "p50_epoch_ms": r.p50_epoch_ms,
+                "p99_epoch_ms": r.p99_epoch_ms,
+                "phase_seconds": r.phase_seconds,
+                "phase_alloc_bytes_per_epoch": r.phase_alloc_bytes_per_epoch,
+                "arena_stats": r.arena_stats,
+            }
+            for r in results
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\n[results written to {args.json}]")
     return 0
 
 
@@ -990,7 +1164,7 @@ def _cmd_federate(args: argparse.Namespace) -> int:
         else EpochRecord.FEDERATED_FIELDS
     )
     if args.csv:
-        with CsvAppender(args.csv, ["run", *fed_fields]) as writer:
+        with CsvAppender(args.csv, ["run", *fed_fields], flush_interval=256) as writer:
             consume(pairs)
     else:
         consume(pairs)
@@ -1123,6 +1297,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "federate":
         return _cmd_federate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

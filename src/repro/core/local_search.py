@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.assignment import Assignment, server_loads
 from repro.core.costs import delays_to_targets
+from repro.core.measures import attach_measures, measured_pqos
 from repro.core.problem import CAPInstance
 from repro.utils.timing import Timer
 
@@ -419,6 +420,7 @@ def _refine_incremental(
     max_iterations: int,
     consider_zone_moves: bool,
     consider_contact_moves: bool,
+    delays: Optional[np.ndarray] = None,
 ) -> int:
     """Hill climber that maintains delays and loads across applied moves.
 
@@ -428,13 +430,21 @@ def _refine_incremental(
     instead of being recomputed from the full assignment every iteration.
     After a small churn batch only a few clients sit over the bound, so one
     iteration costs ~O(over-bound clients × servers) instead of O(clients).
+
+    ``delays`` optionally seeds the maintained per-client delay vector (it
+    must equal ``delays_to_targets`` of the input arrays); it is mutated in
+    place, so on return the caller's array holds the refined assignment's
+    exact delay vector — every update writes the same two-term gather sum a
+    fresh recompute would, so the maintained vector stays bit-identical to
+    ``delays_to_targets`` of the final arrays.
     """
     zones_of = instance.client_zones
     bound = instance.delay_bound
     ssd = instance.server_server_delays
 
     # Seeded once; maintained incrementally from here on.
-    delays = delays_to_targets(instance, zone_to_server, contacts)
+    if delays is None:
+        delays = delays_to_targets(instance, zone_to_server, contacts)
     loads = server_loads(instance, zone_to_server, contacts)
     targets = zone_to_server[zones_of]
 
@@ -516,8 +526,13 @@ def _repair_contacts_sweep(
     contacts: np.ndarray,
     max_iterations: int,
     max_sweeps: int = 50,
+    delays: Optional[np.ndarray] = None,
 ) -> int:
     """Batched contact repair: apply a whole sweep of improving moves at once.
+
+    ``delays`` optionally seeds (and receives, mutated in place) the
+    maintained per-client delay vector — see :func:`_refine_incremental` for
+    the bit-identity contract.
 
     Each sweep picks, for every over-bound client, its best *strictly
     improving* contact server that had room at the start of the sweep, then
@@ -537,7 +552,8 @@ def _repair_contacts_sweep(
     capacities = instance.server_capacities
     num_servers = instance.num_servers
 
-    delays = delays_to_targets(instance, zone_to_server, contacts)
+    if delays is None:
+        delays = delays_to_targets(instance, zone_to_server, contacts)
     loads = server_loads(instance, zone_to_server, contacts)
     targets = zone_to_server[zones_of]
 
@@ -611,8 +627,13 @@ def _repair_zones_sweep(
     contacts: np.ndarray,
     max_iterations: int,
     max_sweeps: int = 20,
+    delays: Optional[np.ndarray] = None,
 ) -> int:
     """Batched zone-move repair: one ``(zones, servers)`` scan per sweep.
+
+    ``delays`` optionally seeds (and receives, mutated in place) the
+    maintained per-client delay vector — see :func:`_refine_incremental` for
+    the bit-identity contract.
 
     Each sweep evaluates, for every zone, the objective delta of re-hosting
     it on every other server (members reconnect directly — the GreC base
@@ -648,7 +669,8 @@ def _repair_zones_sweep(
     member_order = np.argsort(zones_of, kind="stable")
     member_starts = np.r_[0, np.cumsum(zone_sizes)]
 
-    delays = delays_to_targets(instance, zone_to_server, contacts)
+    if delays is None:
+        delays = delays_to_targets(instance, zone_to_server, contacts)
     loads = server_loads(instance, zone_to_server, contacts)
 
     applied_total = 0
@@ -726,6 +748,7 @@ def warm_start_refine(
     consider_zone_moves: bool = False,
     consider_contact_moves: bool = True,
     mode: str = "best",
+    stash_measures: bool = False,
 ) -> LocalSearchResult:
     """Warm-start refinement: repair a carried-over assignment after churn.
 
@@ -753,23 +776,47 @@ def warm_start_refine(
     ``capacity_exceeded`` on the result is recomputed against the instance
     rather than inherited, so a repair that ends within capacity clears a
     stale flag.
+
+    With ``stash_measures=True`` the refiner's incrementally maintained
+    per-client delay vector (an exact gather-sum at every update, so
+    bit-identical to a fresh ``client_delays`` recompute) is attached to the
+    result by reference as a measurement stash
+    (:func:`repro.core.measures.attach_measures` — no copy, the array is
+    frozen read-only), together with the freshly reduced server loads.
+    ``initial_pqos`` / ``final_pqos`` are then served as exact
+    count-over-population divisions, bit-identical to the boolean-mean
+    specification.  The returned numbers are identical either way; the flag
+    only removes the redundant O(clients) passes.
     """
     if mode not in _WARM_START_MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {_WARM_START_MODES}")
     zone_to_server = assignment.zone_to_server.copy()
     contacts = assignment.contact_of_client.copy()
-    initial_pqos = assignment.pqos(instance)
+    delays: Optional[np.ndarray] = None
+    if stash_measures:
+        delays = delays_to_targets(instance, zone_to_server, contacts)
+        if instance.num_clients:
+            within = int(np.count_nonzero(delays <= instance.delay_bound))
+            initial_pqos = within / instance.num_clients
+        else:
+            initial_pqos = 1.0
+    else:
+        initial_pqos = assignment.pqos(instance)
 
     with Timer() as timer:
         if mode == "sweep":
             iterations = 0
             if consider_zone_moves:
                 iterations += _repair_zones_sweep(
-                    instance, zone_to_server, contacts, max_iterations
+                    instance, zone_to_server, contacts, max_iterations, delays=delays
                 )
             if consider_contact_moves and iterations < max_iterations:
                 iterations += _repair_contacts_sweep(
-                    instance, zone_to_server, contacts, max_iterations - iterations
+                    instance,
+                    zone_to_server,
+                    contacts,
+                    max_iterations - iterations,
+                    delays=delays,
                 )
         else:
             iterations = _refine_incremental(
@@ -779,6 +826,7 @@ def warm_start_refine(
                 max_iterations,
                 consider_zone_moves,
                 consider_contact_moves,
+                delays=delays,
             )
 
     final_loads = server_loads(instance, zone_to_server, contacts)
@@ -790,11 +838,16 @@ def warm_start_refine(
         runtime_seconds=assignment.runtime_seconds + timer.elapsed,
         metadata={**assignment.metadata, "warm_start_iterations": iterations},
     )
+    if stash_measures:
+        attach_measures(refined, instance, delays, final_loads)
+        final_pqos = measured_pqos(refined, instance)
+    else:
+        final_pqos = refined.pqos(instance)
     return LocalSearchResult(
         assignment=refined,
         iterations=iterations,
         initial_pqos=initial_pqos,
-        final_pqos=refined.pqos(instance),
+        final_pqos=final_pqos,
         runtime_seconds=timer.elapsed,
     )
 

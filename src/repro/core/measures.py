@@ -81,9 +81,25 @@ def attach_measures(
 ) -> MeasureStash:
     """Attach a stash to ``assignment`` (mutates its metadata dict in place).
 
-    The arrays are marked read-only: the stash is shared by every
-    ``with_algorithm`` copy of the assignment (metadata dicts are shallow
-    copies), so accidental mutation would corrupt all of them at once.
+    The vectors are stashed **by reference**, not copied: ``np.asarray`` on a
+    float64 ndarray returns the caller's own array, which is then frozen
+    read-only *in place*.  A solver that already owns the per-client delay
+    vector (it computed delays as a byproduct of refinement) hands it over
+    for free — no residual O(clients) copy on the hot path — and gives up
+    write access in exchange.  Audited callers, all of which are done
+    writing by the time they stash:
+
+    * :func:`ensure_measures` below — stashes vectors it just computed and
+      owns exclusively;
+    * ``grec.py`` — stashes the refined client delays/loads produced by the
+      final evaluation pass;
+    * :func:`~repro.core.local_search.warm_start_refine` — stashes the delay
+      vector its repair sweeps maintained in place (bit-identical to a fresh
+      recompute) and a freshly computed load vector.
+
+    The read-only flag also protects sharing across ``with_algorithm``
+    copies of the assignment (metadata dicts are shallow copies), where a
+    mutation would corrupt every copy at once.
     """
     delays = np.asarray(delays, dtype=np.float64)
     server_loads = np.asarray(server_loads, dtype=np.float64)

@@ -54,10 +54,31 @@ modes, capacity-tight instances and degenerate shapes).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from repro.utils.arena import EpochArena
+
+_tls = threading.local()
+
+
+def _solver_arena() -> EpochArena:
+    """Per-thread scratch arena for the solver's candidate tables.
+
+    The vectorized backend rebuilds the same row-major desirability table
+    (``items x servers``) on every solve; a churn session re-solves every
+    epoch, so that table is recurring scratch in the sense of
+    :class:`~repro.utils.arena.EpochArena`.  Solvers may run on executor
+    worker threads (the parallel replication runtime), and the arena is not
+    thread-safe, so each thread keeps its own.
+    """
+    arena = getattr(_tls, "arena", None)
+    if arena is None:
+        arena = _tls.arena = EpochArena()
+    return arena
 
 __all__ = [
     "RegretResult",
@@ -261,7 +282,14 @@ def _assign_static_vectorized(
         return False
 
     # Row-major per-item view: stale re-evaluations gather contiguous rows.
-    des_items = np.ascontiguousarray(desirability.T)
+    # The transpose copy lands in recycled per-thread scratch instead of a
+    # fresh allocation each solve (single borrower: the table lives only for
+    # this solve, and solves never nest on one thread).
+    arena = _solver_arena()
+    des_items = arena.scratch(
+        "regret_des_items", num_items * num_servers, dtype=desirability.dtype
+    ).reshape(num_items, num_servers)
+    np.copyto(des_items, desirability.T)
 
     # Two-tier re-evaluation table: each item's top-T servers by
     # desirability, stored in ascending server-id order.  A masked argmax

@@ -19,7 +19,11 @@ import numpy as np
 
 from repro.dynamics.events import ChurnBatch
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
-from repro.world.distributions import sample_client_nodes, sample_client_zones
+from repro.world.distributions import (
+    ZoneSamplingPlan,
+    sample_client_nodes,
+    sample_client_zones,
+)
 from repro.world.scenario import DVEScenario
 
 __all__ = ["ChurnSpec", "generate_churn"]
@@ -50,12 +54,17 @@ def generate_churn(
     scenario: DVEScenario,
     spec: ChurnSpec | None = None,
     seed: SeedLike = None,
+    zone_plan: ZoneSamplingPlan | None = None,
 ) -> ChurnBatch:
     """Generate a random churn batch for a scenario.
 
     Leaves and moves are sampled over disjoint subsets of the existing clients
     (a client cannot both move and leave in the same batch); if the population
     is too small to honour both counts, they are reduced proportionally.
+
+    ``zone_plan`` optionally carries the precomputed zone-sampling state
+    (:class:`~repro.world.distributions.ZoneSamplingPlan`) reused across the
+    epochs of a session; batches are bit-identical with or without it.
     """
     spec = spec or ChurnSpec()
     rng = as_generator(seed)
@@ -67,7 +76,12 @@ def generate_churn(
         scenario.topology, spec.num_joins, dist_spec, seed=join_node_rng
     )
     join_zones = sample_client_zones(
-        scenario.topology, join_nodes, scenario.num_zones, dist_spec, seed=join_zone_rng
+        scenario.topology,
+        join_nodes,
+        scenario.num_zones,
+        dist_spec,
+        seed=join_zone_rng,
+        plan=zone_plan,
     )
 
     num_clients = scenario.num_clients
@@ -83,6 +97,12 @@ def generate_churn(
     # Destination zones for the movers.
     move_zones = _sample_move_zones(scenario, spec, move_indices, move_rng)
 
+    if zone_plan is not None:
+        # Hot-loop (arena) mode: the batch is valid by construction, so skip
+        # the ChurnBatch re-validation.  Field values are identical either way.
+        return ChurnBatch.trusted(
+            join_nodes, join_zones, leave_indices, move_indices, move_zones
+        )
     return ChurnBatch(
         join_nodes=join_nodes,
         join_zones=join_zones,

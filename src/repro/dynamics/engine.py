@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import time
+import tracemalloc
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
@@ -65,7 +66,9 @@ from repro.dynamics.policies import (
     remap_assignment_servers,
 )
 from repro.dynamics.scenarios import ScenarioRuntime, ScenarioTimeline, build_timeline
+from repro.utils.arena import EpochArena
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.world.distributions import ZoneSamplingPlan
 from repro.world.scenario import DVEScenario
 from repro.world.servers import ServerSet
 
@@ -192,6 +195,11 @@ class SimulationState:
     #: forward so it is never recomputed (it is bit-identical by construction).
     measures: Dict[str, tuple] = field(default_factory=dict)
     epoch: int = 0
+    #: Per-session scratch arena generalising the old contacts buffer: all
+    #: recurring per-epoch buffers (delay matrix double-buffer, population
+    #: arrays, demand vectors, repair work arrays) recycle through it when
+    #: the simulator runs with ``arena=True``.
+    arena: Optional[EpochArena] = field(default=None, repr=False)
     _contacts_scratch: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64), repr=False
     )
@@ -202,6 +210,8 @@ class SimulationState:
         Grows geometrically and is recycled across epochs; only valid for
         transient assignments that are dropped before the next request.
         """
+        if self.arena is not None:
+            return self.arena.scratch("carry_contacts", num_clients, dtype=np.int64)
         if self._contacts_scratch.shape[0] < num_clients:
             self._contacts_scratch = np.empty(
                 max(num_clients, 2 * self._contacts_scratch.shape[0]), dtype=np.int64
@@ -280,6 +290,17 @@ class ChurnSimulator:
         Shedding/re-admission thresholds for the scenario layer
         (:class:`~repro.dynamics.degradation.AdmissionPolicy`); ``None`` uses
         the defaults.  Ignored without a timeline.
+    arena:
+        ``True`` (default) gives the session an :class:`EpochArena` so the
+        recurring per-epoch buffers (delay matrix, population arrays, demand
+        vector, carried contacts, repair work arrays) are recycled instead of
+        reallocated, and churn generation reuses a precomputed
+        :class:`~repro.world.distributions.ZoneSamplingPlan`.  Records are
+        bit-identical with the arena on or off; ``False`` keeps the
+        allocate-per-epoch executable specification.  With the arena on,
+        external code must not retain references to a state's scenario /
+        instance arrays across epochs (they are recycled once the state has
+        advanced past them) — snapshot with ``.copy()`` or run ``arena=False``.
     """
 
     scenario: DVEScenario
@@ -296,6 +317,7 @@ class ChurnSimulator:
     measurement_backend: str = "full"
     scenario_timeline: Union[None, str, Iterable, ScenarioTimeline] = None
     admission_policy: Optional[AdmissionPolicy] = None
+    arena: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -356,6 +378,7 @@ class ChurnSimulator:
             instance=instance,
             assignments=assignments,
             measures=measures,
+            arena=EpochArena() if self.arena else None,
         )
 
     def _advance_world(
@@ -387,7 +410,7 @@ class ChurnSimulator:
             )
         else:
             mid_scenario = state.scenario.apply_server_delta(server_churn)
-        new_scenario = mid_scenario.apply_churn_delta(churn)
+        new_scenario = mid_scenario.apply_churn_delta(churn, arena=state.arena)
         if state.instance.mirrors_arrays_of(state.scenario):
             # The state only ever advanced through the delta pipeline, so the
             # freshly delta-gathered scenario arrays ARE the new instance's
@@ -465,21 +488,31 @@ class ChurnSimulator:
         reassign_rng: SeedLike,
         timings: Optional[Dict[str, float]] = None,
         overlay_active: bool = False,
+        allocs: Optional[Dict[str, int]] = None,
     ) -> tuple[EpochRecord, Assignment]:
         """Measure one algorithm around one epoch and apply the policy action.
 
         ``timings`` optionally accumulates wall-time into its ``"solve"`` and
         ``"measure"`` keys (the repair/solve calls vs the measurement-point
-        computations), feeding the session's per-phase profile.
+        computations), feeding the session's per-phase profile.  ``allocs``
+        likewise accumulates tracemalloc peak bytes allocated per phase
+        (requires ``tracemalloc`` to be tracing; the alloc probe costs wall
+        time, so it is separate from ``timings``-only runs).
         """
         instance = state.instance
         incremental_meas = self.measurement_backend == "incremental"
 
         def _timed(key, fn):
+            if allocs is not None:
+                tracemalloc.reset_peak()
+                alloc_base = tracemalloc.get_traced_memory()[0]
             start = time.perf_counter()
             result = fn()
             if timings is not None:
                 timings[key] = timings.get(key, 0.0) + (time.perf_counter() - start)
+            if allocs is not None:
+                peak = tracemalloc.get_traced_memory()[1]
+                allocs[key] = allocs.get(key, 0) + max(0, peak - alloc_base)
             return result
 
         def _pqos(a):
@@ -609,6 +642,12 @@ class ChurnSimulator:
                     mode="sweep",
                     consider_zone_moves=server_churn is not None,
                     max_iterations=max(200, new_instance.num_clients),
+                    # The refiner maintains the exact per-client delay vector
+                    # anyway; stashing it by reference makes the later
+                    # ensure_measures a no-op instead of a full O(clients)
+                    # recompute.  Gated with the arena so ``arena=False``
+                    # stays the executable spec the stash path must match.
+                    stash_measures=incremental_meas and state.arena is not None,
                 ).assignment,
             )
             adopted_pqos = _timed("measure", lambda: _pqos(adopted))
@@ -744,6 +783,26 @@ class EpochSession:
         }
         #: Same breakdown for the most recent epoch only.
         self.last_phase_seconds: Dict[str, float] = dict.fromkeys(self.phase_seconds, 0.0)
+        #: When True *and* ``tracemalloc`` is tracing, each epoch also records
+        #: the tracemalloc **peak** bytes allocated per phase (transient
+        #: allocations included, unlike a net before/after diff) into
+        #: ``phase_alloc_bytes`` (cumulative) / ``last_phase_alloc_bytes``.
+        #: The probe costs wall time, so keep it off for pure-throughput runs.
+        self.alloc_profile: bool = False
+        self.phase_alloc_bytes: Dict[str, int] = dict.fromkeys(self.phase_seconds, 0)
+        self.last_phase_alloc_bytes: Dict[str, int] = dict.fromkeys(self.phase_seconds, 0)
+        #: Precomputed zone-sampling state for churn generation — the world's
+        #: topology / zone count / distribution spec never change within a
+        #: session, so the per-epoch region bookkeeping is paid once.  Only
+        #: built on the arena fast path, keeping ``arena=False`` the
+        #: untouched executable specification.
+        self._zone_plan: Optional[ZoneSamplingPlan] = None
+        if self.state.arena is not None:
+            self._zone_plan = ZoneSamplingPlan.build(
+                simulator.scenario.topology,
+                simulator.scenario.num_zones,
+                simulator.scenario.config.distribution_spec,
+            )
 
     @property
     def done(self) -> bool:
@@ -795,6 +854,11 @@ class EpochSession:
         # The extra server-churn sub-stream is spawned only when the fleet
         # actually churns, so static-fleet runs replay the exact RNG layout
         # (and records) of the pre-elastic engine.
+        allocs: Optional[Dict[str, int]] = None
+        if self.alloc_profile and tracemalloc.is_tracing():
+            allocs = {}
+            tracemalloc.reset_peak()
+            alloc_base = tracemalloc.get_traced_memory()[0]
         phase_start = time.perf_counter()
         runtime = self.scenario_runtime
         plan = None
@@ -815,12 +879,14 @@ class EpochSession:
                 self.epoch_rngs[epoch], 1 + len(sim.algorithms)
             )
         churn_spec = sim.churn_spec if plan is None else plan.churn_spec
-        batch = generate_churn(state.scenario, churn_spec, seed=churn_rng)
+        batch = generate_churn(
+            state.scenario, churn_spec, seed=churn_rng, zone_plan=self._zone_plan
+        )
         if runtime is not None:
             batch, scenario_stats = runtime.prepare_batch(
                 plan, batch, state.scenario.population
             )
-        churn = apply_churn(state.scenario.population, batch)
+        churn = apply_churn(state.scenario.population, batch, arena=state.arena)
         server_churn: Optional[ServerChurnResult] = None
         if server_active:
             server_batch = generate_server_churn(
@@ -835,6 +901,10 @@ class EpochSession:
         elif capacity_delta is not None:
             server_churn = self._external_capacity_delta(capacity_delta)
         timings: Dict[str, float] = {"churn_gen": time.perf_counter() - phase_start}
+        if allocs is not None:
+            allocs["churn_gen"] = max(0, tracemalloc.get_traced_memory()[1] - alloc_base)
+            tracemalloc.reset_peak()
+            alloc_base = tracemalloc.get_traced_memory()[0]
         phase_start = time.perf_counter()
         new_scenario, new_instance = sim._advance_world(state, churn, server_churn)
         # Delay overlays (link degradation) produce a *separate* effective
@@ -845,6 +915,8 @@ class EpochSession:
         if runtime is not None:
             eff_instance = runtime.overlay_instance(plan, new_scenario, new_instance)
         timings["advance"] = time.perf_counter() - phase_start
+        if allocs is not None:
+            allocs["advance"] = max(0, tracemalloc.get_traced_memory()[1] - alloc_base)
         action = self.schedule.action_for_epoch(epoch)
 
         records: List[EpochRecord] = []
@@ -866,6 +938,7 @@ class EpochSession:
                 reassign_rngs[i],
                 timings=timings,
                 overlay_active=eff_instance is not new_instance,
+                allocs=allocs,
             )
             if scenario_stats is not None:
                 record = replace(
@@ -881,10 +954,54 @@ class EpochSession:
         self.last_phase_seconds.update(timings)
         for key, value in self.last_phase_seconds.items():
             self.phase_seconds[key] += value
+        self.last_phase_alloc_bytes = dict.fromkeys(self.phase_alloc_bytes, 0)
+        if allocs is not None:
+            self.last_phase_alloc_bytes.update(allocs)
+            for key, value in self.last_phase_alloc_bytes.items():
+                self.phase_alloc_bytes[key] += value
 
+        prev_scenario = state.scenario
         state.scenario = new_scenario
         state.instance = new_instance
         state.assignments = next_assignments
         state.measures = next_measures
         state.epoch = epoch + 1
+
+        arena = state.arena
+        if arena is not None:
+            # Double-buffer hand-off: the previous epoch's derived arrays are
+            # now unreachable from the advancing state, so their arena
+            # buffers return to the pool for the next epoch to reuse.  The
+            # identity guards keep arrays that carried over by reference
+            # (capacity-only fleet deltas share the matrix) live, and
+            # ``release_if_owned`` ignores externally owned arrays (the
+            # caller's initial snapshot, rebuild-backend output).
+            if prev_scenario.client_server_delays is not new_scenario.client_server_delays:
+                arena.release_if_owned(prev_scenario.client_server_delays)
+            if prev_scenario.client_demands is not new_scenario.client_demands:
+                arena.release_if_owned(prev_scenario.client_demands)
+            prev_population = prev_scenario.population
+            if prev_population is not new_scenario.population:
+                if prev_population.nodes is not new_scenario.population.nodes:
+                    arena.release_if_owned(prev_population.nodes)
+                if prev_population.zones is not new_scenario.population.zones:
+                    arena.release_if_owned(prev_population.zones)
+            arena.release_if_owned(churn.old_to_new)
+        return records
+
+    def run_batch(self, k: int) -> List[EpochRecord]:
+        """Run up to ``k`` epochs in one call, returning all their records.
+
+        The batched fast path for throughput drivers: one Python call (and
+        one result list) per ``k`` epochs instead of one generator resumption
+        per epoch.  Stops early at the session's last scheduled epoch; pair
+        with :meth:`repro.io.csvout.CsvAppender.append_rows` to flush the
+        returned records in one buffered write.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        records: List[EpochRecord] = []
+        end = min(self.state.epoch + k, self.num_epochs)
+        while self.state.epoch < end:
+            records.extend(self.run_epoch())
         return records

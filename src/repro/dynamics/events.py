@@ -11,6 +11,7 @@ over to the new snapshot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -53,6 +54,33 @@ class ChurnBatch:
                 f"clients {overlap.tolist()} cannot both move and leave in the same batch"
             )
 
+    @classmethod
+    def trusted(
+        cls,
+        join_nodes: np.ndarray,
+        join_zones: np.ndarray,
+        leave_indices: np.ndarray,
+        move_indices: np.ndarray,
+        move_zones: np.ndarray,
+    ) -> "ChurnBatch":
+        """Construct without re-validation, for generator-produced batches.
+
+        :func:`~repro.dynamics.churn.generate_churn` builds batches that are
+        valid by construction — all five arrays come out of numpy sampling as
+        ``int64``, joins/moves are parallel by shape, and leaves/moves are
+        disjoint because they are split from one ``choice(replace=False)``
+        draw — so the hot churn loop skips the ``__post_init__`` coercion and
+        the ``intersect1d`` overlap check.  Hand-built batches must go through
+        the normal constructor.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "join_nodes", join_nodes)
+        object.__setattr__(self, "join_zones", join_zones)
+        object.__setattr__(self, "leave_indices", leave_indices)
+        object.__setattr__(self, "move_indices", move_indices)
+        object.__setattr__(self, "move_zones", move_zones)
+        return self
+
     @property
     def num_joins(self) -> int:
         """Number of joining clients."""
@@ -87,35 +115,88 @@ class ChurnResult:
         index, or ``-1`` for clients that left.
     new_client_indices:
         Post-churn indices of the newly joined clients.
+    survivors_old:
+        Optional cache of ``np.flatnonzero(old_to_new >= 0)`` — the
+        *pre-churn* indices of surviving clients, in order.  Because churn
+        preserves survivors' relative order, ``old_to_new[survivors_old]``
+        is exactly ``arange(survivors_old.size)``, so consumers holding this
+        vector can write survivor gathers to a contiguous prefix.  Filled by
+        the arena fast path (the vector lives in a recycled arena buffer and
+        must not be retained across epochs); ``None`` on the spec path,
+        where consumers recompute it.
     """
 
     population: ClientPopulation
     old_to_new: np.ndarray
     new_client_indices: np.ndarray
+    survivors_old: Optional[np.ndarray] = None
 
 
-def apply_churn(population: ClientPopulation, batch: ChurnBatch) -> ChurnResult:
+def apply_churn(population: ClientPopulation, batch: ChurnBatch, arena=None) -> ChurnResult:
     """Apply a churn batch to a population snapshot.
 
     Move events are applied first (on pre-churn indices), then leaving clients
     are removed, then joining clients are appended at the end.
+
+    With an :class:`~repro.utils.arena.EpochArena` the population arrays and
+    the ``old_to_new`` map come out of recycled arena buffers (released by the
+    engine once the next epoch has advanced past them) and the intermediate
+    copies of the spec path are skipped; the resulting arrays are element-wise
+    identical either way.
     """
     num_old = population.num_clients
     for name, idx in (("leave", batch.leave_indices), ("move", batch.move_indices)):
         if idx.size and (idx.min() < 0 or idx.max() >= num_old):
             raise ValueError(f"{name} indices out of range for population of {num_old}")
 
-    moved = population.with_moved(batch.move_indices, batch.move_zones)
+    if arena is None:
+        moved = population.with_moved(batch.move_indices, batch.move_zones)
 
-    keep_mask = np.ones(num_old, dtype=bool)
+        keep_mask = np.ones(num_old, dtype=bool)
+        keep_mask[batch.leave_indices] = False
+        survivors = moved.subset(np.flatnonzero(keep_mask))
+
+        old_to_new = np.full(num_old, -1, dtype=np.int64)
+        old_to_new[keep_mask] = np.arange(int(keep_mask.sum()))
+
+        final = survivors.with_joined(batch.join_nodes, batch.join_zones)
+        new_client_indices = np.arange(survivors.num_clients, final.num_clients)
+        return ChurnResult(
+            population=final, old_to_new=old_to_new, new_client_indices=new_client_indices
+        )
+
+    # Arena fast path: one pass over the old population, no intermediate
+    # moved/survivor snapshots.  Same values as the spec path above: movers'
+    # zones are rewritten first, survivors are compressed in original order,
+    # joiners are appended at the end.
+    keep_mask = arena.scratch("churn_keep_mask", num_old, dtype=bool)
+    keep_mask[:] = True
     keep_mask[batch.leave_indices] = False
-    survivors = moved.subset(np.flatnonzero(keep_mask))
+    num_survivors = int(np.count_nonzero(keep_mask))
+    num_new = num_survivors + batch.num_joins
 
-    old_to_new = np.full(num_old, -1, dtype=np.int64)
-    old_to_new[keep_mask] = np.arange(int(keep_mask.sum()))
+    zones_moved = arena.scratch("churn_zones_moved", num_old, dtype=np.int64)
+    np.copyto(zones_moved, population.zones)
+    zones_moved[batch.move_indices] = batch.move_zones
 
-    final = survivors.with_joined(batch.join_nodes, batch.join_zones)
-    new_client_indices = np.arange(survivors.num_clients, final.num_clients)
+    nodes = arena.acquire((num_new,), dtype=np.int64)
+    zones = arena.acquire((num_new,), dtype=np.int64)
+    np.compress(keep_mask, population.nodes, out=nodes[:num_survivors])
+    np.compress(keep_mask, zones_moved, out=zones[:num_survivors])
+    nodes[num_survivors:] = batch.join_nodes
+    zones[num_survivors:] = batch.join_zones
+
+    old_to_new = arena.acquire((num_old,), dtype=np.int64)
+    old_to_new[:] = -1
+    old_to_new[keep_mask] = arena.arange(num_survivors)
+    # Cache the survivor index vector for downstream consumers (delta
+    # advance, carry-over) so they never re-derive it from old_to_new.
+    survivors_old = arena.scratch("churn_survivors_old", num_survivors, dtype=np.int64)
+    np.compress(keep_mask, arena.arange(num_old), out=survivors_old)
+    new_client_indices = np.arange(num_survivors, num_new)
     return ChurnResult(
-        population=final, old_to_new=old_to_new, new_client_indices=new_client_indices
+        population=ClientPopulation(nodes=nodes, zones=zones),
+        old_to_new=old_to_new,
+        new_client_indices=new_client_indices,
+        survivors_old=survivors_old,
     )

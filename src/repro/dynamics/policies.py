@@ -85,11 +85,34 @@ def carry_over_assignment(
     else:
         contacts = np.empty(new_num_clients, dtype=np.int64)
 
-    survivors_old = np.flatnonzero(churn.old_to_new >= 0)
-    contacts[churn.old_to_new[survivors_old]] = old_assignment.contact_of_client[survivors_old]
+    if churn.survivors_old is not None:
+        # The arena churn path caches the survivor index vector and numbers
+        # survivors 0..k-1 in original order, so the scatter below is a
+        # contiguous prefix gather; mode="clip" avoids numpy's staging
+        # temporary (indices are in range, clipping never fires), and the
+        # joiner default only gathers the joiners' own zone targets instead
+        # of the full per-client target vector.
+        survivors_old = churn.survivors_old
+        num_survivors = survivors_old.size
+        np.take(
+            old_assignment.contact_of_client,
+            survivors_old,
+            out=contacts[:num_survivors],
+            mode="clip",
+        )
+        joiners = churn.new_client_indices
+        if joiners.size:
+            contacts[joiners] = old_assignment.zone_to_server[
+                new_instance.client_zones[joiners]
+            ]
+    else:
+        survivors_old = np.flatnonzero(churn.old_to_new >= 0)
+        contacts[churn.old_to_new[survivors_old]] = old_assignment.contact_of_client[
+            survivors_old
+        ]
 
-    targets_new = old_assignment.zone_to_server[new_instance.client_zones]
-    contacts[churn.new_client_indices] = targets_new[churn.new_client_indices]
+        targets_new = old_assignment.zone_to_server[new_instance.client_zones]
+        contacts[churn.new_client_indices] = targets_new[churn.new_client_indices]
 
     loads = server_loads(new_instance, old_assignment.zone_to_server, contacts)
     capacity_exceeded = bool(

@@ -65,7 +65,9 @@ class BandwidthModel:
         """Bandwidth of a single client→server or server→client update stream."""
         return self.frame_rate * self.message_bytes * 8.0
 
-    def client_target_demands(self, client_zones: np.ndarray, num_zones: int) -> np.ndarray:
+    def client_target_demands(
+        self, client_zones: np.ndarray, num_zones: int, out: np.ndarray = None
+    ) -> np.ndarray:
         """Per-client bandwidth demand ``RT(c)`` on its target server, in bits/s.
 
         Parameters
@@ -74,6 +76,11 @@ class BandwidthModel:
             ``(num_clients,)`` zone index of each client.
         num_zones:
             Total number of zones in the virtual world.
+        out:
+            Optional ``(num_clients,)`` float64 buffer to write into (the
+            epoch arena's recycled demand vector).  The ``out=`` path performs
+            the same two float operations in the same order as the
+            allocating path, so results are bit-identical.
 
         Returns
         -------
@@ -86,7 +93,11 @@ class BandwidthModel:
         if client_zones.size and (client_zones.min() < 0 or client_zones.max() >= num_zones):
             raise ValueError("client_zones contains zone ids outside [0, num_zones)")
         populations = np.bincount(client_zones, minlength=num_zones)
-        return self.stream_bps * (populations[client_zones] + 1.0)
+        if out is None:
+            return self.stream_bps * (populations[client_zones] + 1.0)
+        np.add(populations[client_zones], 1.0, out=out)
+        np.multiply(out, self.stream_bps, out=out)
+        return out
 
     def zone_demands(self, client_zones: np.ndarray, num_zones: int) -> np.ndarray:
         """Total bandwidth demand of each zone on its target server, in bits/s.

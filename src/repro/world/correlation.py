@@ -85,6 +85,33 @@ class RegionZoneMap:
             region_of_zone[zone] = regions[i % regions.size]
         return cls(num_zones=num_zones, region_of_zone=region_of_zone, regions=regions)
 
+    @classmethod
+    def balanced_prepared(
+        cls, num_zones: int, regions: np.ndarray, deal: np.ndarray, seed: SeedLike = None
+    ) -> "RegionZoneMap":
+        """:meth:`balanced` with the region bookkeeping precomputed.
+
+        ``regions`` must already be sorted, duplicate-free int64 and ``deal``
+        must equal ``regions[np.arange(num_zones) % regions.size]`` — exactly
+        what :class:`~repro.world.distributions.ZoneSamplingPlan` caches
+        across churn epochs.  Consumes the same single ``permutation`` draw as
+        :meth:`balanced` and produces a bit-identical map: scattering ``deal``
+        through the shuffled zone order is the vectorised form of the
+        round-robin dealing loop (permutation indices are distinct, so the
+        scatter has no conflicts), and the construction is valid by
+        construction, so the ``__post_init__`` membership re-validation is
+        skipped.
+        """
+        rng = as_generator(seed)
+        zone_order = rng.permutation(num_zones)
+        region_of_zone = np.empty(num_zones, dtype=np.int64)
+        region_of_zone[zone_order] = deal
+        self = object.__new__(cls)
+        object.__setattr__(self, "num_zones", num_zones)
+        object.__setattr__(self, "region_of_zone", region_of_zone)
+        object.__setattr__(self, "regions", regions)
+        return self
+
     def zones_of_region(self, region: int) -> np.ndarray:
         """Zones preferred by clients of ``region`` (never empty for known regions)."""
         zones = np.flatnonzero(self.region_of_zone == region)
@@ -105,6 +132,8 @@ def correlated_zone_choice(
     delta: float,
     region_map: RegionZoneMap,
     seed: SeedLike = None,
+    plan_probs: np.ndarray | None = None,
+    plan_cdf: np.ndarray | None = None,
 ) -> np.ndarray:
     """Sample a zone for each client with physical↔virtual correlation ``delta``.
 
@@ -123,6 +152,14 @@ def correlated_zone_choice(
         The zone→region preference partition.
     seed:
         RNG.
+    plan_probs / plan_cdf:
+        Optional precomputed normalised probabilities and sampling cdf of
+        ``zone_weights`` (cached by
+        :class:`~repro.world.distributions.ZoneSamplingPlan`).  The cdf draw
+        replicates ``Generator.choice(..., p=probs)`` exactly — numpy's own
+        implementation is ``cdf.searchsorted(rng.random(size), "right")``
+        over the same cdf — so results and the RNG state afterwards are
+        bit-identical with or without the cache.
 
     Returns
     -------
@@ -132,21 +169,29 @@ def correlated_zone_choice(
     check_probability(delta, "delta")
     rng = as_generator(seed)
     client_regions = np.asarray(client_regions, dtype=np.int64)
-    weights = np.asarray(zone_weights, dtype=np.float64)
-    if weights.shape != (region_map.num_zones,):
-        raise ValueError("zone_weights must have one entry per zone")
-    if (weights < 0).any() or weights.sum() <= 0:
-        raise ValueError("zone_weights must be non-negative and not all zero")
-    probs = weights / weights.sum()
+    if plan_probs is not None:
+        # Weights were validated and normalised once at plan-build time.
+        probs = plan_probs
+    else:
+        weights = np.asarray(zone_weights, dtype=np.float64)
+        if weights.shape != (region_map.num_zones,):
+            raise ValueError("zone_weights must have one entry per zone")
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("zone_weights must be non-negative and not all zero")
+        probs = weights / weights.sum()
 
     num_clients = client_regions.shape[0]
     zones = np.empty(num_clients, dtype=np.int64)
     correlated = rng.random(num_clients) < delta
 
     # Uncorrelated clients: one vectorised draw from the global distribution.
-    n_global = int((~correlated).sum())
+    uncorrelated = ~correlated
+    n_global = int(uncorrelated.sum())
     if n_global:
-        zones[~correlated] = rng.choice(region_map.num_zones, size=n_global, p=probs)
+        if plan_cdf is not None:
+            zones[uncorrelated] = plan_cdf.searchsorted(rng.random(n_global), side="right")
+        else:
+            zones[uncorrelated] = rng.choice(region_map.num_zones, size=n_global, p=probs)
 
     # Correlated clients: draw from their region's preference group, grouped by
     # region so each group needs a single vectorised draw.

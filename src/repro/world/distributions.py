@@ -27,6 +27,7 @@ preferred by their own geographic region.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -47,6 +48,7 @@ __all__ = [
     "zone_weights",
     "sample_client_nodes",
     "sample_client_zones",
+    "ZoneSamplingPlan",
 ]
 
 _PW_KINDS = ("uniform", "clustered")
@@ -164,35 +166,124 @@ def sample_client_nodes(
     return place_clients_clustered(topology, num_clients, params=params, seed=seed)
 
 
+@dataclass(frozen=True, eq=False)
+class ZoneSamplingPlan:
+    """Cached population-independent state for :func:`sample_client_zones`.
+
+    Churn generation redraws joiners' zones every epoch against the *same*
+    topology, zone count and distribution spec; only the RNG state and the
+    joining clients change.  The plan precomputes everything the per-epoch
+    call used to derive from scratch — the sorted region universe, the
+    round-robin dealing vector behind :meth:`RegionZoneMap.balanced`, and the
+    all-ones uniform zone weights — and :func:`sample_client_zones` consumes
+    the exact same RNG draws with or without a plan, so the sampled zones are
+    bit-identical either way.
+    """
+
+    topology: Topology
+    num_zones: int
+    spec: DistributionSpec
+    all_regions: np.ndarray
+    deal: np.ndarray
+    uniform_weights: Optional[np.ndarray]
+    uniform_probs: Optional[np.ndarray]
+    uniform_cdf: Optional[np.ndarray]
+
+    @classmethod
+    def build(cls, topology: Topology, num_zones: int, spec: DistributionSpec):
+        """Precompute the plan for one (topology, num_zones, spec) world."""
+        if topology.node_domain is not None:
+            base = np.unique(topology.node_domain)
+        else:
+            base = np.arange(topology.num_nodes)
+        all_regions = np.unique(np.asarray(base, dtype=np.int64))
+        all_regions.setflags(write=False)
+        deal = all_regions[np.arange(num_zones) % all_regions.size]
+        deal.setflags(write=False)
+        uniform_weights = uniform_probs = uniform_cdf = None
+        if spec.virtual == "uniform":
+            uniform_weights = np.ones(num_zones, dtype=np.float64)
+            uniform_weights.setflags(write=False)
+            # Probabilities and sampling cdf exactly as correlated_zone_choice
+            # and numpy's Generator.choice derive them per call, frozen once.
+            uniform_probs = uniform_weights / uniform_weights.sum()
+            uniform_cdf = uniform_probs.cumsum()
+            uniform_cdf /= uniform_cdf[-1]
+            uniform_probs.setflags(write=False)
+            uniform_cdf.setflags(write=False)
+        return cls(
+            topology=topology,
+            num_zones=num_zones,
+            spec=spec,
+            all_regions=all_regions,
+            deal=deal,
+            uniform_weights=uniform_weights,
+            uniform_probs=uniform_probs,
+            uniform_cdf=uniform_cdf,
+        )
+
+
 def sample_client_zones(
     topology: Topology,
     client_nodes: np.ndarray,
     num_zones: int,
     spec: DistributionSpec,
     seed: SeedLike = None,
+    plan: Optional[ZoneSamplingPlan] = None,
 ) -> np.ndarray:
     """Sample each client's zone according to the VW distribution and correlation.
 
     The geographic region of a client is the AS domain of its node (or node id
     itself when the topology carries no domain labels).
+
+    ``plan`` optionally supplies the precomputed population-independent state
+    (:class:`ZoneSamplingPlan`) so hot churn loops skip the per-call region
+    bookkeeping; the RNG draw order is unchanged, so results are bit-identical
+    with or without a plan.
     """
+    if plan is not None and (
+        plan.topology is not topology or plan.num_zones != num_zones or plan.spec != spec
+    ):
+        raise ValueError("ZoneSamplingPlan was built for a different world or spec")
     rng = as_generator(seed)
     weights_rng, map_rng, choice_rng = spawn_generators(rng, 3)
-    weights = zone_weights(
-        num_zones,
-        virtual=spec.virtual,
-        hot_zone_factor=spec.hot_zone_factor,
-        hot_zone_fraction=spec.hot_zone_fraction,
-        seed=weights_rng,
-    )
+    if plan is not None and plan.uniform_weights is not None:
+        # Uniform virtual weights are a constant all-ones vector and consume
+        # no randomness (weights_rng is spawned either way, preserving the
+        # draw layout).
+        weights = plan.uniform_weights
+    else:
+        weights = zone_weights(
+            num_zones,
+            virtual=spec.virtual,
+            hot_zone_factor=spec.hot_zone_factor,
+            hot_zone_fraction=spec.hot_zone_fraction,
+            seed=weights_rng,
+        )
     client_nodes = np.asarray(client_nodes, dtype=np.int64)
     if topology.node_domain is not None:
         regions = topology.node_domain[client_nodes]
-        all_regions = np.unique(topology.node_domain)
     else:
         regions = client_nodes
-        all_regions = np.arange(topology.num_nodes)
-    region_map = RegionZoneMap.balanced(num_zones, all_regions, seed=map_rng)
+    if plan is not None:
+        region_map = RegionZoneMap.balanced_prepared(
+            num_zones, plan.all_regions, plan.deal, seed=map_rng
+        )
+    else:
+        if topology.node_domain is not None:
+            all_regions = np.unique(topology.node_domain)
+        else:
+            all_regions = np.arange(topology.num_nodes)
+        region_map = RegionZoneMap.balanced(num_zones, all_regions, seed=map_rng)
+    plan_probs = plan_cdf = None
+    if plan is not None and plan.uniform_probs is not None:
+        plan_probs, plan_cdf = plan.uniform_probs, plan.uniform_cdf
     return correlated_zone_choice(
-        regions, weights, spec.correlation, region_map, seed=choice_rng
+        regions,
+        weights,
+        spec.correlation,
+        region_map,
+        seed=choice_rng,
+        plan_probs=plan_probs,
+        plan_cdf=plan_cdf,
     )
